@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md §3 and prints
+the table/series the paper's claim corresponds to.  ``pytest-benchmark``
+wraps the headline measurement of each experiment; the full sweep runs
+once (``pedantic`` mode) because experiments are deterministic
+simulations, not microbenchmarks.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list], fmt: str = "{:>14}") -> None:
+    """Print one experiment table (captured by pytest -s)."""
+    print(f"\n=== {title} ===")
+    head = "".join(fmt.format(h) for h in headers)
+    print(head)
+    print("-" * len(head))
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(fmt.format(f"{v:.4g}"))
+            else:
+                cells.append(fmt.format(str(v)))
+        print("".join(cells))
+
+
+@pytest.fixture
+def table():
+    return print_table
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

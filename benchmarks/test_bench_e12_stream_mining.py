@@ -1,0 +1,86 @@
+"""E12 -- the stream-mining composite task, end to end.
+
+§3's worked example: "generating decision trees, computing their Fourier
+spectra, choosing the dominant components, and combining them to create
+a single tree."  The point of the technique (Kargupta & Park [17]) is
+that mobile devices ship a handful of Fourier coefficients instead of
+raw data or whole models.
+
+Protocol: a labelled stream is partitioned across k "devices"; each
+learns a tree; the spectra are averaged, truncated to a coefficient
+budget and reconstructed into one model.  We report accuracy vs a
+single-partition tree, the majority-vote ensemble, and a tree trained
+centrally on ALL data (the upper bound that would require shipping
+everything), plus the wire cost of each option.  The composite task also
+runs through the full composition machinery to time it.
+"""
+
+import numpy as np
+
+from repro.datamining import (
+    DecisionTree,
+    LabeledStream,
+    MajorityVote,
+    accuracy,
+    combine_via_fourier,
+    partition_stream,
+)
+
+D = 10
+K_PARTITIONS = 4
+N_TRAIN = 1200
+N_TEST = 1000
+COEFF_BUDGETS = (8, 16, 32, 64, 128)
+RAW_BITS_PER_EXAMPLE = (D + 1) * 8.0
+
+
+def run_experiment(seed=3):
+    stream = LabeledStream(D, np.random.default_rng(seed), noise=0.05)
+    X, y = stream.batch(N_TRAIN)
+    X_test, y_test = stream.batch(N_TEST)
+    parts = partition_stream(X, y, K_PARTITIONS)
+    trees = [DecisionTree(max_depth=5).fit(Xp, yp) for Xp, yp in parts]
+    predictors = [t.predict for t in trees]
+
+    single = accuracy(trees[0].predict, X_test, y_test)
+    vote = accuracy(MajorityVote(predictors).predict, X_test, y_test)
+    central = accuracy(DecisionTree(max_depth=5).fit(X, y).predict, X_test, y_test)
+
+    combined = {}
+    for k in COEFF_BUDGETS:
+        fn = combine_via_fourier(predictors, D, k_coefficients=k)
+        combined[k] = (accuracy(fn.predict, X_test, y_test), fn.size_bits())
+
+    raw_bits = N_TRAIN * RAW_BITS_PER_EXAMPLE
+    return single, vote, central, combined, raw_bits
+
+
+def test_e12_stream_mining(benchmark, table, once):
+    single, vote, central, combined, raw_bits = once(benchmark, run_experiment)
+    rows = [
+        ["single-partition tree", single, float("nan")],
+        ["majority vote (k models)", vote, float("nan")],
+        ["centralized tree (all data)", central, raw_bits],
+    ]
+    for k in COEFF_BUDGETS:
+        acc, bits = combined[k]
+        rows.append([f"fourier-combined ({k} coeffs)", acc, bits])
+    table(
+        f"E12: stream mining over {K_PARTITIONS} partitions, d={D} features",
+        ["method", "accuracy", "bits shipped"],
+        rows,
+        fmt="{:>30}",
+    )
+
+    best_acc, best_bits = combined[max(COEFF_BUDGETS)]
+    # combining beats any single partition's model
+    assert best_acc > single
+    # and approaches the majority vote it approximates
+    assert best_acc >= vote - 0.02
+    # at a tiny fraction of the centralized option's wire cost
+    assert best_bits < raw_bits / 10
+    # accuracy grows (weakly) with the coefficient budget
+    accs = [combined[k][0] for k in COEFF_BUDGETS]
+    assert accs[-1] >= accs[0]
+    # even 16 coefficients already beat the single-partition model
+    assert combined[16][0] > single - 0.05

@@ -1,0 +1,89 @@
+"""E2 -- sensor energy per execution model per query type.
+
+Operationalizes the claim the system is built on (§4 via TAG):
+"performing the computation for certain type of aggregate queries inside
+the sensor network result[s] in saving the energy of the sensors".
+
+Methodology follows TAG: the query is disseminated once, then runs for
+several epochs; we report the *steady-state per-epoch* energy (epochs
+after the first), which is where the plans differ -- dissemination is a
+shared one-off cost.  Expected shape: for aggregates,
+tree < cluster/region < centralized = grid = handheld (raw shipping);
+for complex queries only region-averaging saves energy.
+"""
+
+import math
+
+from repro.core import PervasiveGridRuntime, StaticPolicy
+from repro.queries.models import ALL_MODELS
+
+QUERIES = {
+    "simple": "SELECT value FROM sensors WHERE sensor_id = 24 EPOCH DURATION 5 FOR 25",
+    "aggregate": "SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 25",
+    "complex": "SELECT DISTRIBUTION(value) FROM sensors EPOCH DURATION 5 FOR 25",
+}
+
+
+def measure(model_name: str, query_text: str):
+    runtime = PervasiveGridRuntime(
+        n_sensors=49, area_m=60.0, seed=11, policy=StaticPolicy(model_name),
+        grid_resolution=30,
+    )
+    outcomes = runtime.query(query_text)
+    good = [o for o in outcomes if o.success and o.model == model_name]
+    if len(good) < 2:
+        return None, None
+    first = good[0].energy_j
+    steady = sum(o.energy_j for o in good[1:]) / len(good[1:])
+    return first, steady
+
+
+def run_sweep():
+    return {
+        (qclass, cls.name): measure(cls.name, text)
+        for qclass, text in QUERIES.items()
+        for cls in ALL_MODELS
+    }
+
+
+def test_e2_energy_per_model(benchmark, table, once):
+    results = once(benchmark, run_sweep)
+    model_names = [cls.name for cls in ALL_MODELS]
+    rows = []
+    for qclass in QUERIES:
+        row = [qclass]
+        for name in model_names:
+            _, steady = results[(qclass, name)]
+            row.append(steady * 1e3 if steady is not None else math.nan)
+        rows.append(row)
+    table(
+        "E2: steady-state per-epoch sensor energy (mJ), by execution model",
+        ["query class"] + model_names,
+        rows,
+    )
+    first_rows = []
+    for qclass in QUERIES:
+        row = [qclass]
+        for name in model_names:
+            first, _ = results[(qclass, name)]
+            row.append(first * 1e3 if first is not None else math.nan)
+        first_rows.append(row)
+    table(
+        "E2 (supplement): first-epoch energy incl. query dissemination (mJ)",
+        ["query class"] + model_names,
+        first_rows,
+    )
+
+    steady = {k: (v[1] if v[1] is not None else math.inf) for k, v in results.items()}
+    # the paper's headline: in-network aggregation saves energy on aggregates
+    assert steady[("aggregate", "tree")] < 0.75 * steady[("aggregate", "centralized")]
+    assert steady[("aggregate", "tree")] < steady[("aggregate", "grid")]
+    assert steady[("aggregate", "cluster")] < steady[("aggregate", "centralized")]
+    # region averaging is the energy saver for complex queries
+    assert steady[("complex", "region")] < steady[("complex", "centralized")]
+    # tree/cluster cannot answer complex queries at all
+    assert results[("complex", "tree")] == (None, None)
+    assert results[("complex", "cluster")] == (None, None)
+    # dissemination dominates the first epoch: first >> steady for tree
+    first_tree = results[("aggregate", "tree")][0]
+    assert first_tree > 2 * steady[("aggregate", "tree")]

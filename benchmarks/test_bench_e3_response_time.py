@@ -1,0 +1,69 @@
+"""E3 -- response time per execution model per query type.
+
+"For real-time queries, the turn around time is crucial.  Hence estimate
+of the response time of the query in each of the above approach is
+needed."
+
+Expected shape: in-network plans answer aggregates fastest; for the
+complex (PDE) query, only the grid offload stays interactive -- the
+handheld is orders of magnitude slower (the reason dynamic partitioning
+exists).
+"""
+
+import math
+
+from repro.core import PervasiveGridRuntime, StaticPolicy
+from repro.queries.models import ALL_MODELS
+
+QUERIES = {
+    "simple": "SELECT value FROM sensors WHERE sensor_id = 24",
+    "aggregate": "SELECT AVG(value) FROM sensors",
+    "complex": "SELECT DISTRIBUTION(value) FROM sensors",
+}
+
+
+def measure(model_name: str, query_text: str):
+    runtime = PervasiveGridRuntime(
+        n_sensors=49, area_m=60.0, seed=13, policy=StaticPolicy(model_name),
+        grid_resolution=50,  # a serious PDE: 2500 grid points
+    )
+    out = runtime.query(query_text, horizon_s=1e9)[0]
+    if not out.success or out.model != model_name:
+        return None
+    return out
+
+
+def run_sweep():
+    return {
+        (qclass, cls.name): measure(cls.name, text)
+        for qclass, text in QUERIES.items()
+        for cls in ALL_MODELS
+    }
+
+
+def test_e3_response_time_per_model(benchmark, table, once):
+    results = once(benchmark, run_sweep)
+    model_names = [cls.name for cls in ALL_MODELS]
+    rows = []
+    for qclass in QUERIES:
+        row = [qclass]
+        for name in model_names:
+            out = results[(qclass, name)]
+            row.append(out.time_s if out else math.nan)
+        rows.append(row)
+    table(
+        "E3: measured query turnaround (s), by execution model",
+        ["query class"] + model_names,
+        rows,
+    )
+
+    t = {k: (v.time_s if v else math.inf) for k, v in results.items()}
+    # complex queries: grid wins, handheld is hopeless
+    assert t[("complex", "grid")] < t[("complex", "centralized")]
+    assert t[("complex", "grid")] < t[("complex", "handheld")]
+    assert t[("complex", "handheld")] > 10 * t[("complex", "grid")]
+    # aggregates: in-network tree is at least competitive with raw shipping
+    assert t[("aggregate", "tree")] <= t[("aggregate", "centralized")] * 1.5
+    # every class has at least one sub-minute plan (feasibility)
+    for qclass in QUERIES:
+        assert min(t[(qclass, m)] for m in model_names) < 60.0

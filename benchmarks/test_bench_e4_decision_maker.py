@@ -1,0 +1,123 @@
+"""E4 -- the adaptive Decision Maker.
+
+"Standard machine learning techniques would be used on the data to
+select the right approach for a given query.  The system will be made
+adaptive by comparing the estimates of energy consumption and response
+time with the actual values ... and the results would be incorporated
+into the learning technique."
+
+Protocol: a fixed workload of queries runs under each policy on its own
+identical runtime (same seed).  The **oracle** executes *every* feasible
+model for each query in an isolated sandbox and pays the best actual
+objective -- the unattainable lower bound.  Regret = policy cost /
+oracle cost - 1.  The learned policy must beat both static policies and
+close most of the estimate-greedy policy's gap as feedback accumulates.
+"""
+
+import numpy as np
+
+from repro.core import (
+    EstimateGreedyPolicy,
+    LearnedPolicy,
+    PervasiveGridRuntime,
+    StaticPolicy,
+    default_objective,
+)
+from repro.queries.models import ALL_MODELS
+from repro.workloads import QueryWorkload
+
+N_QUERIES = 60
+SEED = 21
+RADIO_LOSS = 0.03  # lossy links: actuals deviate from analytic estimates
+
+
+def make_runtime(policy):
+    from repro.network.radio import RadioModel
+
+    radio = RadioModel(bandwidth_bps=250_000.0, latency_s=0.01,
+                       loss_prob=RADIO_LOSS, range_m=16.0)
+    return PervasiveGridRuntime(
+        n_sensors=49, area_m=60.0, seed=SEED, policy=policy,
+        radio=radio, grid_resolution=24,
+    )
+
+
+def workload_texts():
+    wl = QueryWorkload(np.random.default_rng(77), n_sensors=49,
+                       mix=(0.3, 0.5, 0.2, 0.0), cost_prob=0.0)
+    return [wl.next_text() for _ in range(N_QUERIES)]
+
+
+def run_policy(policy, texts):
+    runtime = make_runtime(policy)
+    costs = []
+    for text in texts:
+        out = runtime.query(text)[0]
+        costs.append(default_objective(out.energy_j, out.time_s)
+                     if out.success else 1e3)
+        runtime.sim.run(until=runtime.sim.now + 10.0)
+    return costs
+
+
+def run_oracle(texts):
+    """Best actual objective per query over per-model full runs.
+
+    Each model runs the *whole* workload on its own long-lived runtime
+    (so dissemination amortizes exactly as it does for the policies);
+    the oracle pays, per query, the cheapest of those runs.
+    """
+    per_model = [run_policy(StaticPolicy(cls.name), texts) for cls in ALL_MODELS]
+    return list(np.min(np.array(per_model), axis=0))
+
+
+def run_experiment():
+    texts = workload_texts()
+    oracle = run_oracle(texts)
+    policies = {
+        "static:centralized": StaticPolicy("centralized"),
+        "static:tree": StaticPolicy("tree"),
+        "estimate-greedy": EstimateGreedyPolicy(),
+        "learned(kNN)": LearnedPolicy(rng=np.random.default_rng(5),
+                                      epsilon=0.3, epsilon_decay=0.95),
+    }
+    results = {}
+    for name, policy in policies.items():
+        results[name] = run_policy(policy, texts)
+    return texts, oracle, results
+
+
+def test_e4_decision_maker_regret(benchmark, table, once):
+    texts, oracle, results = once(benchmark, run_experiment)
+    oracle_total = sum(oracle)
+    rows = []
+    for name, costs in results.items():
+        total = sum(costs)
+        # learning curve: mean objective in first vs last third
+        third = len(costs) // 3
+        early = float(np.mean(costs[:third]))
+        late = float(np.mean(costs[-third:]))
+        rows.append([name, total, total / oracle_total - 1.0, early, late])
+    rows.append(["oracle (lower bound)", oracle_total, 0.0,
+                 float(np.mean(oracle[:len(oracle)//3])),
+                 float(np.mean(oracle[-len(oracle)//3:]))])
+    table(
+        f"E4: Decision-Maker regret over {N_QUERIES} queries (objective = mJ + s)",
+        ["policy", "total cost", "regret", "early mean", "late mean"],
+        rows,
+        fmt="{:>22}",
+    )
+
+    totals = {name: sum(costs) for name, costs in results.items()}
+    # any adaptive/greedy policy must beat always-centralized
+    assert totals["learned(kNN)"] < totals["static:centralized"]
+    assert totals["estimate-greedy"] < totals["static:centralized"]
+    # the learned policy's late-phase cost must not exceed its early phase
+    costs = results["learned(kNN)"]
+    third = len(costs) // 3
+    assert np.mean(costs[-third:]) <= np.mean(costs[:third]) * 1.1
+    # and after feedback it matches the estimate-greedy policy per query
+    greedy_late = np.mean(results["estimate-greedy"][-third:])
+    assert np.mean(costs[-third:]) <= greedy_late * 1.05
+    # nobody beats the oracle
+    for name, total in totals.items():
+        assert total >= sum(oracle) * 0.999

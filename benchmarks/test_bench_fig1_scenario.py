@@ -1,0 +1,52 @@
+"""E1 / Figure 1 -- the General Scenario, end to end.
+
+Reproduces the paper's only figure as a running system: handheld →
+base station → sensor network, with the grid behind the uplink.  All
+four query classes are answered in one session against a burning
+building; the table reports what the Decision Maker chose and what each
+answer cost.
+"""
+
+from repro.workloads import fire_scenario
+
+QUERIES = [
+    ("simple", "SELECT value FROM sensors WHERE sensor_id = 24"),
+    ("aggregate", "SELECT AVG(value) FROM sensors WHERE room = 5"),
+    ("complex", "SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05"),
+    ("continuous", "SELECT MAX(value) FROM sensors EPOCH DURATION 10 FOR 30"),
+]
+
+
+def run_scenario():
+    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7)
+    runtime.sim.run(until=120.0)  # fire develops
+    rows = []
+    for label, text in QUERIES:
+        outcomes = runtime.query(text)
+        for o in outcomes:
+            rows.append([
+                label if o.epoch_index == 0 else f"  epoch{o.epoch_index}",
+                o.model,
+                o.success,
+                o.time_s,
+                o.energy_j * 1e3,
+                o.rel_error,
+            ])
+    return runtime, rows
+
+
+def test_fig1_general_scenario(benchmark, table, once):
+    runtime, rows = once(benchmark, run_scenario)
+    table(
+        "E1 / Fig.1: General Scenario -- all four query classes, one session",
+        ["query class", "model", "ok", "time (s)", "energy (mJ)", "rel. err"],
+        rows,
+    )
+    # every query class must be answered successfully
+    assert all(r[2] for r in rows)
+    # the exact-accuracy complex query must have been partitioned off-sensor
+    complex_row = next(r for r in rows if r[0] == "complex")
+    assert complex_row[1] in ("grid", "centralized", "handheld")
+    assert complex_row[5] < 0.05
+    # no sensor died answering four queries
+    assert runtime.deployment.dead_sensor_count() == 0

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Figure-1 scenario: fire fighters querying a burning building.
+
+A fire ignites inside an instrumented building.  Fire fighters arrive
+with a handheld, and work through the paper's script:
+
+1. spot checks ("temperature at sensor N"),
+2. room averages as the fire spreads,
+3. the full temperature distribution -- the 3-D PDE query that must be
+   partitioned out to the wired grid,
+4. a continuous watch on the hottest reading while they work.
+
+Run:  python examples/fire_response.py
+"""
+
+import numpy as np
+
+from repro.reporting import ascii_heatmap
+from repro.workloads import fire_scenario
+
+
+def main() -> None:
+    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2)
+
+    print("=== t=0: fire just ignited ===")
+    out = runtime.query("SELECT MAX(value) FROM sensors")
+    print(f"max temperature now: {out[0].value:.1f} C  (model: {out[0].model})")
+
+    # let the fire develop for 3 simulated minutes
+    runtime.sim.run(until=runtime.sim.now + 180.0)
+
+    print("\n=== t=180 s: fire fighters arrive ===")
+    out = runtime.query("SELECT MAX(value) FROM sensors")
+    print(f"max temperature now: {out[0].value:.1f} C  (model: {out[0].model})")
+
+    out = runtime.query("SELECT value FROM sensors WHERE sensor_id = 24")
+    print(f"spot check, sensor 24 (building centre): {out[0].value:.1f} C")
+
+    for room in (1, 5, 9):
+        out = runtime.query(f"SELECT AVG(value) FROM sensors WHERE room = {room}")
+        print(f"room {room} average: {out[0].value:.1f} C "
+              f"(model {out[0].model}, {out[0].time_s:.2f} s, {out[0].energy_j*1e3:.3f} mJ)")
+
+    print("\n=== the complex query: temperature distribution (PDE) ===")
+    # the COST accuracy clause rules out lossy region-averaged plans, so
+    # the Decision Maker must pick an exact plan -- the grid offload
+    out = runtime.query("SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05")
+    field = out[0].value
+    hot_i, hot_j = np.unravel_index(np.argmax(field), field.shape)
+    cell = runtime.deployment.area_m / (field.shape[0] - 1)
+    print(f"model chosen: {out[0].model} | turnaround {out[0].time_s:.2f} s "
+          f"| field {field.shape[0]}x{field.shape[1]} | rel. error {out[0].rel_error:.3f}")
+    print(f"hottest point: ({hot_i * cell:.0f} m, {hot_j * cell:.0f} m) at {field.max():.0f} C")
+    print(f"coolest escape route along y=0: x = "
+          f"{np.argmin(field[:, 0]) * cell:.0f} m ({field[:, 0].min():.0f} C)")
+    print("\ntemperature map (entrance at bottom centre; hotter = denser):")
+    print(ascii_heatmap(field, width=48, height=16))
+
+    print("\n=== continuous watch: hottest reading every 15 s for 1 minute ===")
+    epochs = []
+    runtime.submit("SELECT MAX(value) FROM sensors EPOCH DURATION 15 FOR 60",
+                   lambda outs: None, on_epoch=epochs.append)
+    runtime.sim.run(until=runtime.sim.now + 90.0)
+    for e in epochs:
+        print(f"epoch {e.epoch_index}: max = {e.value:.1f} C "
+              f"(model {e.model}, {e.energy_j*1e3:.3f} mJ)")
+
+    print(f"\nsensors still alive: {len(runtime.deployment.alive_sensor_ids())}"
+          f"/{runtime.deployment.n_sensors}")
+    print(f"total sensor energy spent: {runtime.energy_consumed_j()*1e3:.2f} mJ")
+
+
+if __name__ == "__main__":
+    main()

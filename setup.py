@@ -1,0 +1,11 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+The execution environment has setuptools 65 but no `wheel`, so PEP 660
+editable installs fail with "invalid command 'bdist_wheel'".  With this
+shim, ``pip install -e . --no-use-pep517 --no-build-isolation`` falls back
+to ``setup.py develop``, which needs neither network nor wheel.
+"""
+
+from setuptools import setup
+
+setup()

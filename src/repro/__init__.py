@@ -1,0 +1,38 @@
+"""repro -- a reproduction of "Towards a Pervasive Grid" (IPPS 2003).
+
+The package builds the full system the paper describes: a deterministic
+discrete-event substrate (wireless network, sensors, wired grid), the
+Ronin-style agent framework, semantic service discovery with syntactic
+baselines, dynamic service composition, the §4 sensor-query system with
+its six execution models, and the adaptive Decision Maker that partitions
+computation between the sensor network and the Grid.
+
+Quick start::
+
+    from repro import PervasiveGridRuntime
+
+    rt = PervasiveGridRuntime(n_sensors=49, area_m=60.0, seed=42)
+    rt.query("SELECT AVG(value) FROM sensors WHERE room = 2")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured experiment index.
+"""
+
+from repro.core.runtime import PervasiveGridRuntime
+from repro.workloads.scenarios import (
+    defense_scenario,
+    fire_scenario,
+    health_scenario,
+    intrusion_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PervasiveGridRuntime",
+    "fire_scenario",
+    "health_scenario",
+    "defense_scenario",
+    "intrusion_scenario",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""The Ronin-style multi-agent framework (paper §2).
+
+The paper's runtime is built on the Ronin Agent Framework: a hybrid of
+agent-oriented and service-oriented approaches where *services are
+modelled as agents*.  The defining architectural features reproduced
+here:
+
+* **Agent / Agent Deputy split** -- every agent is fronted by a deputy
+  implementing a single ``deliver`` method; deputies encapsulate
+  transport concerns (disconnection management, transcoding) so the agent
+  body is transport-agnostic (:mod:`~repro.agents.deputy`).
+* **Envelopes** -- messages travel inside :class:`~repro.agents.envelope.Envelope`
+  objects carrying the content type and ontology identifier, giving a
+  uniform communication infrastructure over arbitrary content languages.
+* **Agent Attributes vs Agent Domain Attributes** -- framework-defined
+  generic roles versus free-form domain descriptions
+  (:mod:`~repro.agents.attributes`).
+* **ACL-independent messaging** -- a FIPA-flavoured performative set in
+  :mod:`~repro.agents.acl`; the platform only looks at envelopes.
+* **A platform registry** with lifecycle management and integration with
+  node churn (:mod:`~repro.agents.platform`).
+"""
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.attributes import AgentAttributes, AgentRole, DomainAttributes
+from repro.agents.envelope import Envelope
+from repro.agents.agent import Agent
+from repro.agents.deputy import AgentDeputy, DirectDeputy, NetworkDeputy
+from repro.agents.platform import AgentPlatform
+from repro.agents.contractnet import (
+    Award,
+    CallForProposals,
+    ContractNetContractor,
+    ContractNetInitiator,
+    Proposal,
+)
+
+__all__ = [
+    "Award",
+    "CallForProposals",
+    "ContractNetContractor",
+    "ContractNetInitiator",
+    "Proposal",
+    "ACLMessage",
+    "Performative",
+    "AgentAttributes",
+    "AgentRole",
+    "DomainAttributes",
+    "Envelope",
+    "Agent",
+    "AgentDeputy",
+    "DirectDeputy",
+    "NetworkDeputy",
+    "AgentPlatform",
+]

@@ -1,0 +1,75 @@
+"""Agent communication language (ACL) messages.
+
+A FIPA-flavoured performative vocabulary.  Ronin is "ACL and network
+protocol independent": the platform never interprets ACL content, only
+the :class:`~repro.agents.envelope.Envelope` metadata.  Agents that speak
+the same content language/ontology interpret the body.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+
+class Performative(enum.Enum):
+    """Speech acts, following FIPA-ACL (the standard §2 references)."""
+
+    REQUEST = "request"
+    INFORM = "inform"
+    QUERY = "query"
+    PROPOSE = "propose"
+    ACCEPT = "accept"
+    REJECT = "reject"
+    FAILURE = "failure"
+    CFP = "cfp"  # call for proposals (negotiation)
+    SUBSCRIBE = "subscribe"
+    ADVERTISE = "advertise"
+    UNADVERTISE = "unadvertise"
+
+
+_conversation_ids = itertools.count()
+
+
+def new_conversation_id() -> str:
+    """A fresh, process-unique conversation id."""
+    return f"conv-{next(_conversation_ids)}"
+
+
+@dataclasses.dataclass
+class ACLMessage:
+    """One agent-to-agent speech act.
+
+    Attributes
+    ----------
+    performative:
+        The speech act.
+    sender / receiver:
+        Agent names (platform-unique strings).
+    content:
+        Arbitrary payload; its type/ontology is declared on the envelope.
+    conversation_id:
+        Correlates requests with replies.
+    in_reply_to:
+        Conversation id this message answers, if any.
+    """
+
+    performative: Performative
+    sender: str
+    receiver: str
+    content: typing.Any = None
+    conversation_id: str = dataclasses.field(default_factory=new_conversation_id)
+    in_reply_to: str | None = None
+
+    def reply(self, performative: Performative, content: typing.Any = None) -> "ACLMessage":
+        """Build the reply message (sender/receiver swapped, conv id linked)."""
+        return ACLMessage(
+            performative=performative,
+            sender=self.receiver,
+            receiver=self.sender,
+            content=content,
+            conversation_id=new_conversation_id(),
+            in_reply_to=self.conversation_id,
+        )

@@ -1,0 +1,132 @@
+"""The agent body.
+
+An :class:`Agent` is transport-agnostic: it receives envelopes from its
+deputy and sends by handing envelopes to the platform.  Behaviour is
+expressed as performative handlers (for ACL content) plus an optional
+raw-envelope hook for non-ACL content types.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.attributes import AgentAttributes, DomainAttributes
+from repro.agents.envelope import Envelope
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.agents.platform import AgentPlatform
+
+
+class Agent:
+    """A Ronin agent.
+
+    Parameters
+    ----------
+    name:
+        Platform-unique identifier.
+    attributes:
+        Domain-independent description (roles, mobility, host kind).
+    domain_attributes:
+        Domain-specific description (free-form).
+
+    Subclasses typically override :meth:`setup` to register handlers:
+
+    >>> class Echo(Agent):
+    ...     def setup(self):
+    ...         self.on(Performative.REQUEST, self.handle)
+    ...     def handle(self, msg):
+    ...         self.reply(msg, Performative.INFORM, msg.content)
+    """
+
+    def __init__(
+        self,
+        name: str,
+        attributes: AgentAttributes | None = None,
+        domain_attributes: DomainAttributes | None = None,
+    ) -> None:
+        self.name = name
+        self.attributes = attributes or AgentAttributes()
+        self.domain_attributes = domain_attributes or DomainAttributes()
+        self.platform: "AgentPlatform | None" = None
+        self._handlers: dict[Performative, typing.Callable[[ACLMessage], None]] = {}
+        self._raw_handler: typing.Callable[[Envelope], None] | None = None
+        self.inbox_count = 0
+        self.sent_count = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Hook called when the agent is registered with a platform."""
+
+    def teardown(self) -> None:
+        """Hook called when the agent is unregistered."""
+
+    # ------------------------------------------------------------------
+    # behaviour registration
+    # ------------------------------------------------------------------
+    def on(self, performative: Performative, handler: typing.Callable[[ACLMessage], None]) -> None:
+        """Register ``handler`` for ACL messages with ``performative``."""
+        self._handlers[performative] = handler
+
+    def on_raw(self, handler: typing.Callable[[Envelope], None]) -> None:
+        """Register a handler for non-ACL envelopes."""
+        self._raw_handler = handler
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        receiver: str,
+        message: ACLMessage | typing.Any,
+        *,
+        content_type: str = "acl",
+        ontology: str = "",
+        size_bits: float = 1024.0,
+    ) -> Envelope:
+        """Wrap ``message`` in an envelope and dispatch via the platform."""
+        if self.platform is None:
+            raise RuntimeError(f"agent {self.name!r} is not registered with a platform")
+        env = Envelope(
+            sender=self.name,
+            receiver=receiver,
+            content=message,
+            content_type=content_type,
+            ontology=ontology,
+            size_bits=size_bits,
+        )
+        self.platform.dispatch(env)
+        self.sent_count += 1
+        return env
+
+    def ask(self, receiver: str, performative: Performative, content: typing.Any = None) -> ACLMessage:
+        """Convenience: build and send one ACL message; returns it."""
+        msg = ACLMessage(performative=performative, sender=self.name, receiver=receiver, content=content)
+        self.send(receiver, msg)
+        return msg
+
+    def reply(self, to: ACLMessage, performative: Performative, content: typing.Any = None) -> ACLMessage:
+        """Convenience: send the ACL reply to ``to``."""
+        msg = to.reply(performative, content)
+        self.send(msg.receiver, msg)
+        return msg
+
+    # ------------------------------------------------------------------
+    # delivery (called by the deputy)
+    # ------------------------------------------------------------------
+    def receive(self, envelope: Envelope) -> None:
+        """Entry point for inbound envelopes; routes to handlers."""
+        self.inbox_count += 1
+        if envelope.content_type == "acl" and isinstance(envelope.content, ACLMessage):
+            handler = self._handlers.get(envelope.content.performative)
+            if handler is not None:
+                handler(envelope.content)
+            elif self._raw_handler is not None:
+                self._raw_handler(envelope)
+        elif self._raw_handler is not None:
+            self._raw_handler(envelope)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Agent({self.name!r})"

@@ -1,0 +1,93 @@
+"""Agent attributes.
+
+"The first set of attributes, Agent Attributes, define the generic
+functionality of an agent in domain independent fashion. ... The second
+set of attributes, Agent Domain Attributes, define the domain specific
+functionality of an agent. ... The framework neither defines the Domain
+Attribute types nor their semantics." (§2)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+
+class AgentRole(enum.Enum):
+    """Framework-defined generic roles (types *and* semantics fixed here)."""
+
+    BROKER = "broker"
+    SERVICE_PROVIDER = "service-provider"
+    CLIENT = "client"
+    FACILITATOR = "facilitator"
+    SENSOR = "sensor"
+    COMPOSER = "composer"
+
+
+@dataclasses.dataclass(frozen=True)
+class AgentAttributes:
+    """Domain-independent agent description.
+
+    Attributes
+    ----------
+    roles:
+        The generic functions this agent performs.
+    mobile:
+        Whether the agent's host moves (affects deputy selection).
+    host_kind:
+        Coarse device class: ``"sensor"``, ``"handheld"``, ``"notebook"``,
+        ``"basestation"``, ``"grid"``.
+    """
+
+    roles: frozenset[AgentRole] = frozenset()
+    mobile: bool = False
+    host_kind: str = "notebook"
+
+    def has_role(self, role: AgentRole) -> bool:
+        """True iff the agent declares ``role``."""
+        return role in self.roles
+
+    @staticmethod
+    def of(*roles: AgentRole, mobile: bool = False, host_kind: str = "notebook") -> "AgentAttributes":
+        """Convenience constructor: ``AgentAttributes.of(AgentRole.BROKER)``."""
+        return AgentAttributes(roles=frozenset(roles), mobile=mobile, host_kind=host_kind)
+
+
+class DomainAttributes:
+    """Free-form domain-specific attributes.
+
+    A thin mapping wrapper; the framework stores and forwards these but
+    assigns them no semantics (per the paper).  Discovery's semantic
+    matcher interprets them against an ontology.
+    """
+
+    def __init__(self, **attrs: typing.Any) -> None:
+        self._attrs = dict(attrs)
+
+    def get(self, key: str, default: typing.Any = None) -> typing.Any:
+        """Value for ``key`` or ``default``."""
+        return self._attrs.get(key, default)
+
+    def set(self, key: str, value: typing.Any) -> None:
+        """Set one attribute."""
+        self._attrs[key] = value
+
+    def keys(self) -> list[str]:
+        """All attribute names, sorted."""
+        return sorted(self._attrs)
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        """Copy of the underlying mapping."""
+        return dict(self._attrs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._attrs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DomainAttributes):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DomainAttributes({self._attrs!r})"

@@ -1,0 +1,59 @@
+"""Service composition (paper §3).
+
+"Given an efficient semantic level discovery infrastructure, the next
+task is to use it to compose services and components."
+
+The pipeline reproduced here:
+
+1. **Decomposition** -- an HTN planner (:mod:`~repro.composition.planner`)
+   turns a compound goal into a :class:`~repro.composition.task.TaskGraph`
+   of primitive tasks, e.g. the paper's stream-analysis example:
+   *generate decision trees → compute their Fourier spectra → choose the
+   dominant components → combine into a single tree*.
+2. **Binding** -- each task is matched to a discovered service
+   (:mod:`~repro.composition.binding`).
+3. **Execution** -- a composition manager drives the bound graph either
+   through a *centralized* coordinator (all data bounces through the
+   manager's host -- the architecture the paper says fits purely wired
+   environments) or *distributed* (data flows provider-to-provider; the
+   manager only seeds sources and hears from sinks), with timeout-based
+   failure detection and re-binding (:mod:`~repro.composition.manager`,
+   :mod:`~repro.composition.provider`).
+4. **Reactive vs proactive** -- compose at request time, or pre-compute
+   bindings for high-frequency queries (:mod:`~repro.composition.reactive`).
+"""
+
+from repro.composition.task import TaskSpec, TaskGraph
+from repro.composition.planner import HTNPlanner, Method, build_pervasive_domain
+from repro.composition.binding import Binder, Binding, BindingError
+from repro.composition.provider import ServiceProviderAgent
+from repro.composition.manager import CompositionManager, CompositionResult
+from repro.composition.reactive import ReactiveComposer, ProactiveComposer
+from repro.composition.negotiation import NegotiatedBinder
+from repro.composition.adapters import (
+    MailboxServiceAgent,
+    ParadigmAdapter,
+    RPCServiceAgent,
+)
+from repro.composition.executors import build_stream_mining_providers
+
+__all__ = [
+    "NegotiatedBinder",
+    "MailboxServiceAgent",
+    "ParadigmAdapter",
+    "RPCServiceAgent",
+    "build_stream_mining_providers",
+    "TaskSpec",
+    "TaskGraph",
+    "HTNPlanner",
+    "Method",
+    "build_pervasive_domain",
+    "Binder",
+    "Binding",
+    "BindingError",
+    "ServiceProviderAgent",
+    "CompositionManager",
+    "CompositionResult",
+    "ReactiveComposer",
+    "ProactiveComposer",
+]

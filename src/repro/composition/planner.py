@@ -1,0 +1,241 @@
+"""HTN planning: decomposing compound goals into task graphs.
+
+"For task categories that are well understood a-priori, this can be done
+by hard coding specific decompositions.  However, in the more general
+case, this requires the use of a planner." (§3, citing Erol/Hendler/Nau
+HTN planning)
+
+The planner is a straightforward total-order HTN decomposer: a *domain*
+maps compound task names to :class:`Method` lists; each method expands a
+compound task into a partially ordered network of (compound or primitive)
+subtasks.  Decomposition recurses depth-first, trying methods in order
+and backtracking when a method's expansion fails, until only primitive
+tasks (bindable to services) remain.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.composition.task import TaskGraph, TaskSpec
+
+
+@dataclasses.dataclass
+class Method:
+    """One way to decompose a compound task.
+
+    Attributes
+    ----------
+    name:
+        Method label (diagnostics).
+    subtasks:
+        Ordered list of subtask templates.  Each entry is either a
+        :class:`~repro.composition.task.TaskSpec` (primitive) or a string
+        naming a compound task to expand recursively.
+    edges:
+        Data-flow edges among this method's subtasks, by index into
+        ``subtasks``: ``(producer_idx, consumer_idx)``.
+    applicable:
+        Optional guard; the method is skipped when it returns False for
+        the goal parameters.
+    expand:
+        Optional callable ``(params) -> (subtasks, edges)`` for
+        parameter-dependent expansions (e.g. one decision-tree task per
+        stream partition).  When given, ``subtasks``/``edges`` are
+        ignored.
+    """
+
+    name: str
+    subtasks: list[typing.Union[TaskSpec, str]] = dataclasses.field(default_factory=list)
+    edges: list[tuple[int, int]] = dataclasses.field(default_factory=list)
+    applicable: typing.Callable[[dict], bool] | None = None
+    expand: typing.Callable[[dict], tuple[list, list]] | None = None
+
+
+class PlanningError(Exception):
+    """Raised when no method sequence decomposes the goal."""
+
+
+class HTNPlanner:
+    """A total-order HTN decomposer.
+
+    Parameters
+    ----------
+    domain:
+        ``{compound_task_name: [Method, ...]}``.
+    """
+
+    def __init__(self, domain: dict[str, list[Method]]) -> None:
+        self.domain = dict(domain)
+
+    def is_compound(self, name: str) -> bool:
+        """True iff the domain knows how to decompose ``name``."""
+        return name in self.domain
+
+    def plan(self, goal: str, params: dict | None = None) -> TaskGraph:
+        """Decompose ``goal`` into a task graph of primitives.
+
+        ``params`` parameterizes method expansion (fan-out widths etc.).
+        Raises :class:`PlanningError` when no applicable method exists at
+        any level.
+        """
+        params = params or {}
+        graph = TaskGraph()
+        counter = [0]
+        sinks = self._expand(goal, params, graph, counter, inputs_from=[])
+        if not sinks:
+            raise PlanningError(f"goal {goal!r} decomposed to an empty network")
+        return graph
+
+    # ------------------------------------------------------------------
+    def _expand(
+        self,
+        name: str,
+        params: dict,
+        graph: TaskGraph,
+        counter: list[int],
+        inputs_from: list[str],
+    ) -> list[str]:
+        """Expand ``name``; returns the sink task names of the expansion.
+
+        ``inputs_from`` are task names whose outputs feed this
+        expansion's sources.
+        """
+        methods = self.domain.get(name)
+        if methods is None:
+            raise PlanningError(f"no methods for compound task {name!r}")
+        last_error: PlanningError | None = None
+        for method in methods:
+            if method.applicable is not None and not method.applicable(params):
+                continue
+            try:
+                return self._apply(method, params, graph, counter, inputs_from)
+            except PlanningError as exc:  # backtrack to the next method
+                last_error = exc
+        raise last_error or PlanningError(f"no applicable method for {name!r}")
+
+    def _apply(
+        self,
+        method: Method,
+        params: dict,
+        graph: TaskGraph,
+        counter: list[int],
+        inputs_from: list[str],
+    ) -> list[str]:
+        if method.expand is not None:
+            subtasks, edges = method.expand(params)
+        else:
+            subtasks, edges = method.subtasks, method.edges
+
+        # expand each subtask; record the (sources, sinks) of each expansion
+        entry_names: list[list[str]] = []
+        exit_names: list[list[str]] = []
+        incoming = {j for _, j in edges}
+        for idx, sub in enumerate(subtasks):
+            feed = inputs_from if idx not in incoming else []
+            if isinstance(sub, str):
+                sinks = self._expand(sub, params, graph, counter, inputs_from=feed)
+                # sources of a nested expansion already wired via feed
+                entry_names.append(sinks)  # nested: edges attach to its sinks
+                exit_names.append(sinks)
+            else:
+                unique = TaskSpec(
+                    name=f"{sub.name}#{counter[0]}",
+                    category=sub.category,
+                    inputs=sub.inputs,
+                    outputs=sub.outputs,
+                    constraints=sub.constraints,
+                    preferences=sub.preferences,
+                    params=dict(sub.params),
+                )
+                counter[0] += 1
+                graph.add_task(unique)
+                for producer in feed:
+                    graph.add_edge(producer, unique.name)
+                entry_names.append([unique.name])
+                exit_names.append([unique.name])
+
+        for i, j in edges:
+            for producer in exit_names[i]:
+                for consumer in entry_names[j]:
+                    graph.add_edge(producer, consumer)
+
+        outgoing = {i for i, _ in edges}
+        sinks: list[str] = []
+        for idx in range(len(subtasks)):
+            if idx not in outgoing:
+                sinks.extend(exit_names[idx])
+        return sinks
+
+
+def build_pervasive_domain(n_partitions: int = 3) -> dict[str, list[Method]]:
+    """The paper's canonical decompositions as an HTN domain.
+
+    * ``analyze-stream`` -- the §3 example: ensembles of decision trees
+      from a partitioned data stream, Fourier spectra, dominant-component
+      selection, combination into a single tree.
+    * ``temperature-distribution`` -- the §4 complex query: collect
+      readings, then solve the PDE.
+    * ``print-report`` -- the printer example: format then print.
+    """
+
+    def stream_expand(params: dict) -> tuple[list, list]:
+        k = int(params.get("n_partitions", n_partitions))
+        if k < 1:
+            raise PlanningError("need at least one stream partition")
+        subtasks: list[TaskSpec] = []
+        edges: list[tuple[int, int]] = []
+        for i in range(k):
+            subtasks.append(
+                TaskSpec(f"learn-tree-{i}", "DecisionTreeService",
+                         inputs=("DataStream",), outputs=("DecisionTree",))
+            )
+        for i in range(k):
+            subtasks.append(
+                TaskSpec(f"spectrum-{i}", "FourierSpectrumService",
+                         inputs=("DecisionTree",), outputs=("FourierSpectrum",))
+            )
+            edges.append((i, k + i))
+        select = len(subtasks)
+        subtasks.append(
+            TaskSpec("select-dominant", "FourierSpectrumService",
+                     inputs=("FourierSpectrum",), outputs=("FourierSpectrum",))
+        )
+        for i in range(k):
+            edges.append((k + i, select))
+        combine = len(subtasks)
+        subtasks.append(
+            TaskSpec("combine-ensemble", "EnsembleCombinerService",
+                     inputs=("FourierSpectrum",), outputs=("DecisionTree",))
+        )
+        edges.append((select, combine))
+        return subtasks, edges
+
+    domain: dict[str, list[Method]] = {
+        "analyze-stream": [Method(name="ensemble-fourier", expand=stream_expand)],
+        "temperature-distribution": [
+            Method(
+                name="collect-then-solve",
+                subtasks=[
+                    TaskSpec("collect-readings", "AggregationService",
+                             outputs=("TemperatureReading",)),
+                    TaskSpec("solve-pde", "PDESolverService",
+                             inputs=("TemperatureReading",),
+                             outputs=("TemperatureDistribution",)),
+                ],
+                edges=[(0, 1)],
+            )
+        ],
+        "print-report": [
+            Method(
+                name="format-and-print",
+                subtasks=[
+                    TaskSpec("format", "ComputeService", outputs=("Document",)),
+                    TaskSpec("print", "PrinterService", inputs=("Document",)),
+                ],
+                edges=[(0, 1)],
+            )
+        ],
+    }
+    return domain

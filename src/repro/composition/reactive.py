@@ -1,0 +1,223 @@
+"""Reactive and proactive composition.
+
+"We might want to pro-actively compute some generic information about
+services required to execute a query which is requested with a high
+frequency.  The other approach is to re-actively integrate and execute
+services to derive the result of a query." (§3)
+
+Both composers plan with the HTN planner and execute through a
+:class:`~repro.composition.manager.CompositionManager`; they differ in
+*when discovery happens*:
+
+* :class:`ReactiveComposer` queries the broker agent (over ACL, paying
+  real network latency per task) at request time, then executes.
+* :class:`ProactiveComposer` performs the same discovery ahead of time
+  via :meth:`ProactiveComposer.precompute` and serves requests from the
+  cached bindings instantly; failed executions invalidate the cache so
+  the next request falls back to fresh discovery.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.agents.acl import ACLMessage, Performative
+from repro.agents.agent import Agent
+from repro.agents.attributes import AgentAttributes, AgentRole
+from repro.composition.binding import Binding
+from repro.composition.manager import CompositionManager, CompositionResult
+from repro.composition.planner import HTNPlanner, PlanningError
+from repro.composition.task import TaskGraph
+
+
+class _ComposerBase(Agent):
+    """Shared ACL discovery machinery for both composers.
+
+    Discovery runs over the (possibly lossy, possibly partitioned)
+    network, so it is guarded by ``discovery_timeout_s``: if the broker's
+    replies do not all arrive in time, the composition attempt fails
+    cleanly instead of waiting forever.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        planner: HTNPlanner,
+        manager: CompositionManager,
+        broker: str,
+        discovery_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(name, AgentAttributes.of(AgentRole.COMPOSER))
+        if discovery_timeout_s <= 0:
+            raise ValueError("discovery_timeout_s must be positive")
+        self.planner = planner
+        self.manager = manager
+        self.broker = broker
+        self.discovery_timeout_s = discovery_timeout_s
+        self._pending: dict[str, dict] = {}  # conversation id -> discovery context
+
+    def setup(self) -> None:
+        self.on(Performative.INFORM, self._handle_inform)
+        self.on(Performative.FAILURE, self._handle_failure)
+
+    # ------------------------------------------------------------------
+    def _discover(
+        self,
+        graph: TaskGraph,
+        on_bound: typing.Callable[[dict[str, Binding] | None], None],
+    ) -> None:
+        """Query the broker for every task; callback with bindings or None."""
+        tasks = graph.tasks()
+        context = {"graph": graph, "needed": len(tasks), "bindings": {}, "on_bound": on_bound, "failed": False}
+        if not tasks:
+            on_bound({})
+            return
+        conv_ids = []
+        for task in tasks:
+            msg = self.ask(self.broker, Performative.QUERY, task.to_request())
+            self._pending[msg.conversation_id] = {"context": context, "task": task}
+            conv_ids.append(msg.conversation_id)
+
+        def on_timeout() -> None:
+            if context["failed"] or len(context["bindings"]) == context["needed"]:
+                return
+            context["failed"] = True
+            for cid in conv_ids:
+                self._pending.pop(cid, None)
+            context["on_bound"](None)
+
+        self.manager.sim.schedule(self.discovery_timeout_s, on_timeout,
+                                  label=f"discovery-timeout:{self.name}")
+
+    def _handle_inform(self, msg: ACLMessage) -> None:
+        entry = self._pending.pop(msg.in_reply_to or "", None)
+        if entry is None:
+            return
+        context, task = entry["context"], entry["task"]
+        if context["failed"]:
+            return
+        matches = msg.content if isinstance(msg.content, list) else []
+        usable = [m for m in matches if m.service.provider]
+        if not usable:
+            context["failed"] = True
+            context["on_bound"](None)
+            return
+        context["bindings"][task.name] = Binding(task=task, match=usable[0])
+        if len(context["bindings"]) == context["needed"]:
+            context["on_bound"](context["bindings"])
+
+    def _handle_failure(self, msg: ACLMessage) -> None:
+        entry = self._pending.pop(msg.in_reply_to or "", None)
+        if entry is None:
+            return
+        context = entry["context"]
+        if not context["failed"]:
+            context["failed"] = True
+            context["on_bound"](None)
+
+
+class ReactiveComposer(_ComposerBase):
+    """Discover-then-execute at request time ("pure reactive composition",
+    as in the paper's notebook/PocketPC prototype [5])."""
+
+    def compose(
+        self,
+        goal: str,
+        on_complete: typing.Callable[[CompositionResult], None],
+        params: dict | None = None,
+        initial_inputs: dict | None = None,
+    ) -> None:
+        """Plan, discover over ACL, then execute ``goal``."""
+        try:
+            graph = self.planner.plan(goal, params)
+        except PlanningError:
+            on_complete(CompositionResult(False, {}, 0.0, 0, 0, self.manager.mode))
+            return
+
+        def bound(bindings: dict[str, Binding] | None) -> None:
+            if bindings is None:
+                on_complete(CompositionResult(False, {}, 0.0, 0, 0, self.manager.mode))
+                return
+            self.manager.execute(graph, on_complete, initial_inputs=initial_inputs, bindings=bindings)
+
+        self._discover(graph, bound)
+
+
+class ProactiveComposer(_ComposerBase):
+    """Pre-computed bindings for high-frequency goals.
+
+    Call :meth:`precompute` for the goals expected to be hot; later
+    :meth:`compose` calls execute immediately from cache.  A failed
+    execution (or a cache miss) falls back to reactive discovery and
+    repopulates the cache.
+    """
+
+    def __init__(self, name: str, planner: HTNPlanner, manager: CompositionManager, broker: str) -> None:
+        super().__init__(name, planner, manager, broker)
+        self._cache: dict[str, tuple[TaskGraph, dict[str, Binding]]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @staticmethod
+    def _key(goal: str, params: dict | None) -> str:
+        return f"{goal}|{sorted((params or {}).items())!r}"
+
+    def precompute(self, goal: str, params: dict | None = None,
+                   on_ready: typing.Callable[[bool], None] | None = None) -> None:
+        """Plan and discover now; cache the bindings for later requests."""
+        try:
+            graph = self.planner.plan(goal, params)
+        except PlanningError:
+            if on_ready is not None:
+                on_ready(False)
+            return
+
+        def bound(bindings: dict[str, Binding] | None) -> None:
+            if bindings is not None:
+                self._cache[self._key(goal, params)] = (graph, bindings)
+            if on_ready is not None:
+                on_ready(bindings is not None)
+
+        self._discover(graph, bound)
+
+    def invalidate(self, goal: str, params: dict | None = None) -> None:
+        """Drop the cached bindings for a goal (stale after failures)."""
+        self._cache.pop(self._key(goal, params), None)
+
+    def compose(
+        self,
+        goal: str,
+        on_complete: typing.Callable[[CompositionResult], None],
+        params: dict | None = None,
+        initial_inputs: dict | None = None,
+    ) -> None:
+        """Execute from cache; fall back to reactive discovery on a miss."""
+        key = self._key(goal, params)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            graph, bindings = cached
+
+            def done(result: CompositionResult) -> None:
+                if not result.success:
+                    self.invalidate(goal, params)
+                on_complete(result)
+
+            self.manager.execute(graph, done, initial_inputs=initial_inputs, bindings=bindings)
+            return
+
+        self.cache_misses += 1
+        try:
+            graph = self.planner.plan(goal, params)
+        except PlanningError:
+            on_complete(CompositionResult(False, {}, 0.0, 0, 0, self.manager.mode))
+            return
+
+        def bound(bindings: dict[str, Binding] | None) -> None:
+            if bindings is None:
+                on_complete(CompositionResult(False, {}, 0.0, 0, 0, self.manager.mode))
+                return
+            self._cache[key] = (graph, bindings)
+            self.manager.execute(graph, on_complete, initial_inputs=initial_inputs, bindings=bindings)
+
+        self._discover(graph, bound)

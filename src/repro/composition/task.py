@@ -1,0 +1,126 @@
+"""Task specifications and task graphs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import networkx as nx
+
+from repro.discovery.constraints import Constraint, Preference
+from repro.discovery.description import ServiceRequest
+
+
+@dataclasses.dataclass
+class TaskSpec:
+    """One primitive task to be bound to a service.
+
+    Attributes
+    ----------
+    name:
+        Graph-unique task name.
+    category:
+        Ontology class of the service needed.
+    inputs / outputs:
+        Data-type classes consumed/produced.
+    constraints / preferences:
+        Forwarded into the discovery request for this task.
+    params:
+        Free-form invocation parameters passed to the provider.
+    """
+
+    name: str
+    category: str
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    constraints: tuple[Constraint, ...] = ()
+    preferences: tuple[Preference, ...] = ()
+    params: dict = dataclasses.field(default_factory=dict)
+
+    def to_request(self) -> ServiceRequest:
+        """The discovery request that finds a service for this task."""
+        return ServiceRequest(
+            category=self.category,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            constraints=self.constraints,
+            preferences=self.preferences,
+        )
+
+
+class TaskGraph:
+    """A DAG of :class:`TaskSpec` with data-flow edges.
+
+    An edge ``a -> b`` means task ``b`` consumes the output of task ``a``.
+    The graph is validated acyclic on every edge insertion.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._specs: dict[str, TaskSpec] = {}
+
+    # ------------------------------------------------------------------
+    def add_task(self, spec: TaskSpec) -> None:
+        """Add one task (name must be unique)."""
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate task name {spec.name!r}")
+        self._specs[spec.name] = spec
+        self._g.add_node(spec.name)
+
+    def add_edge(self, producer: str, consumer: str) -> None:
+        """Add a data-flow edge; rejects cycles and unknown tasks."""
+        for name in (producer, consumer):
+            if name not in self._specs:
+                raise KeyError(f"unknown task {name!r}")
+        self._g.add_edge(producer, consumer)
+        if not nx.is_directed_acyclic_graph(self._g):
+            self._g.remove_edge(producer, consumer)
+            raise ValueError(f"edge {producer!r}->{consumer!r} creates a cycle")
+
+    # ------------------------------------------------------------------
+    def task(self, name: str) -> TaskSpec:
+        """The spec for ``name`` (KeyError if absent)."""
+        return self._specs[name]
+
+    def tasks(self) -> list[TaskSpec]:
+        """All specs in topological order (deterministic tie-break)."""
+        return [self._specs[n] for n in self.topological_order()]
+
+    def topological_order(self) -> list[str]:
+        """Topological order, ties broken lexicographically."""
+        return list(nx.lexicographical_topological_sort(self._g))
+
+    def predecessors(self, name: str) -> list[str]:
+        """Producers feeding ``name``, sorted."""
+        return sorted(self._g.predecessors(name))
+
+    def successors(self, name: str) -> list[str]:
+        """Consumers of ``name``'s output, sorted."""
+        return sorted(self._g.successors(name))
+
+    def sources(self) -> list[str]:
+        """Tasks with no producers, sorted."""
+        return sorted(n for n in self._g.nodes if self._g.in_degree(n) == 0)
+
+    def sinks(self) -> list[str]:
+        """Tasks with no consumers, sorted."""
+        return sorted(n for n in self._g.nodes if self._g.out_degree(n) == 0)
+
+    def levels(self) -> list[list[str]]:
+        """Antichains executable in parallel (classic level schedule)."""
+        depth: dict[str, int] = {}
+        for name in self.topological_order():
+            preds = self.predecessors(name)
+            depth[name] = 1 + max((depth[p] for p in preds), default=-1)
+        out: dict[int, list[str]] = {}
+        for name, d in depth.items():
+            out.setdefault(d, []).append(name)
+        return [sorted(out[d]) for d in sorted(out)]
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskGraph(tasks={len(self)}, edges={self._g.number_of_edges()})"

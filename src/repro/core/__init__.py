@@ -1,0 +1,49 @@
+"""The paper's primary contribution: dynamic partition of computation.
+
+"We propose to conduct simulations on these query types to generate data
+for amount of computation, data transfer, energy consumption, and
+response time for various approaches.  Standard machine learning
+techniques would be used on the data to select the right approach for a
+given query.  The system will be made adaptive by comparing the
+estimates ... with the actual values ... and the results would be
+incorporated into the learning technique."
+
+"The system comprises of three major components: Query Processor,
+Decision Maker and Simulator for sensor network."
+
+* Query Processor -- :mod:`repro.queries` (parser, classifier, models).
+* Decision Maker -- :mod:`~repro.core.decision` (static, estimate-greedy
+  and learned policies over :mod:`~repro.core.learning` learners and
+  :mod:`~repro.core.features` feature vectors).
+* Simulator -- :mod:`repro.simkernel` + the substrates.
+* :mod:`~repro.core.runtime` -- :class:`PervasiveGridRuntime`, the façade
+  wiring all of it together (Figure 1 in one object).
+"""
+
+from repro.core.learning import KNNRegressor, RegressionTree
+from repro.core.features import featurize, FEATURE_NAMES
+from repro.core.decision import (
+    DecisionMaker,
+    DecisionPolicy,
+    StaticPolicy,
+    EstimateGreedyPolicy,
+    LearnedPolicy,
+    OraclePolicy,
+    default_objective,
+)
+from repro.core.runtime import PervasiveGridRuntime
+
+__all__ = [
+    "KNNRegressor",
+    "RegressionTree",
+    "featurize",
+    "FEATURE_NAMES",
+    "DecisionMaker",
+    "DecisionPolicy",
+    "StaticPolicy",
+    "EstimateGreedyPolicy",
+    "LearnedPolicy",
+    "OraclePolicy",
+    "default_objective",
+    "PervasiveGridRuntime",
+]

@@ -1,0 +1,63 @@
+"""Feature extraction for the Decision Maker's learners.
+
+"A lot of factors would affect the estimates required above.  All
+networks may not be of the same size ... Different networks would have
+different network topology ... Different sensors may generate data with
+different rates." -- the feature vector captures exactly these factors,
+plus the query's class and the candidate plan's own analytic estimate
+(so the learner only needs to model the estimate→actual *bias*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.ast import Query
+from repro.queries.classifier import QueryClass, base_class
+from repro.queries.models.base import CostEstimate, QueryContext
+from repro.queries.models import collection
+
+#: Order of features produced by :func:`featurize`.
+FEATURE_NAMES = (
+    "n_targets",
+    "n_alive",
+    "mean_target_depth",
+    "is_simple",
+    "is_aggregate",
+    "is_complex",
+    "is_continuous",
+    "n_select_items",
+    "loss_prob",
+    "log10_est_energy",
+    "log10_est_time",
+    "log10_est_bits",
+    "log10_est_ops",
+)
+
+
+def featurize(
+    query: Query,
+    ctx: QueryContext,
+    targets: list[int],
+    estimate: CostEstimate,
+) -> np.ndarray:
+    """The feature vector for one (query, network state, plan) triple."""
+    cls = base_class(query)
+    log = lambda v: float(np.log10(max(v, 1e-12)))
+    return np.array(
+        [
+            float(len(targets)),
+            float(len(ctx.deployment.alive_sensor_ids())),
+            collection.mean_target_depth(ctx.deployment, targets),
+            1.0 if cls is QueryClass.SIMPLE else 0.0,
+            1.0 if cls is QueryClass.AGGREGATE else 0.0,
+            1.0 if cls is QueryClass.COMPLEX else 0.0,
+            1.0 if query.is_continuous else 0.0,
+            float(len(query.select)),
+            float(ctx.deployment.radio.loss_prob),
+            log(estimate.energy_j),
+            log(estimate.time_s),
+            log(estimate.data_bits),
+            log(estimate.ops),
+        ]
+    )

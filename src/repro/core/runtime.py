@@ -1,0 +1,136 @@
+"""The pervasive-grid runtime façade (Figure 1 in one object).
+
+:class:`PervasiveGridRuntime` wires together every subsystem: the sensor
+deployment with its physical field, the wired grid behind the base
+station, the agent platform with a discovery broker, the execution models
+and the Decision Maker, and the query executor.  Examples and benchmarks
+build one of these and go.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.agents.platform import AgentPlatform
+from repro.core.decision import DecisionMaker, DecisionPolicy, EstimateGreedyPolicy
+from repro.discovery.broker import BrokerAgent
+from repro.discovery.matcher import SemanticMatcher
+from repro.discovery.ontology import build_service_ontology
+from repro.discovery.registry import ServiceRegistry
+from repro.grid.infrastructure import GridInfrastructure
+from repro.network.radio import RadioModel
+from repro.queries.executor import QueryExecutor, QueryOutcome
+from repro.queries.models import ALL_MODELS, QueryContext
+from repro.queries.models.base import ExecutionModel
+from repro.sensors.deployment import SensorDeployment
+from repro.sensors.field import ScalarField
+from repro.simkernel import RandomStreams, Simulator
+
+
+class PervasiveGridRuntime:
+    """Everything needed to pose §4 queries against a pervasive grid.
+
+    Parameters
+    ----------
+    n_sensors / area_m / field / battery_j / radio / n_handhelds:
+        Forwarded to :class:`~repro.sensors.deployment.SensorDeployment`.
+    seed:
+        Root seed; the entire run is reproducible from it.
+    policy:
+        Decision policy (default: estimate-greedy).
+    site_rates:
+        Grid site throughputs, ops/s.
+    models:
+        Execution-model instances (default: one of each registered model).
+    grid_resolution:
+        PDE grid resolution for complex queries.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int = 49,
+        area_m: float = 60.0,
+        field: ScalarField | None = None,
+        *,
+        seed: int = 0,
+        policy: DecisionPolicy | None = None,
+        site_rates: typing.Sequence[float] = (1e9, 1e12),
+        battery_j: float = 1.0,
+        radio: RadioModel | None = None,
+        n_handhelds: int = 1,
+        models: typing.Sequence[ExecutionModel] | None = None,
+        grid_resolution: int = 40,
+        placement: str = "grid",
+        noise_std: float = 0.5,
+    ) -> None:
+        self.streams = RandomStreams(seed)
+        self.sim = Simulator()
+        self.deployment = SensorDeployment(
+            n_sensors,
+            area_m,
+            field,
+            sim=self.sim,
+            streams=self.streams,
+            battery_j=battery_j,
+            radio=radio,
+            n_handhelds=n_handhelds,
+            placement=placement,
+            noise_std=noise_std,
+        )
+        self.grid = GridInfrastructure(self.sim, site_rates=site_rates)
+        self.ctx = QueryContext(
+            deployment=self.deployment,
+            grid=self.grid,
+            streams=self.streams,
+            grid_resolution=grid_resolution,
+        )
+        self.models = list(models) if models is not None else [cls() for cls in ALL_MODELS]
+        self.policy = policy or EstimateGreedyPolicy()
+        self.decision_maker = DecisionMaker(self.models, self.policy)
+        self.executor = QueryExecutor(self.ctx, self.decision_maker)
+
+        # the service/agent overlay (discovery + composition live here)
+        self.platform = AgentPlatform(self.sim)
+        self.ontology = build_service_ontology()
+        self.registry = ServiceRegistry(SemanticMatcher(self.ontology))
+        self.broker = BrokerAgent("broker", self.registry)
+        self.platform.register(self.broker)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query_text: str,
+        on_complete: typing.Callable[[list[QueryOutcome]], None],
+        on_epoch: typing.Callable[[QueryOutcome], None] | None = None,
+    ) -> None:
+        """Asynchronous submission (caller drives the simulator)."""
+        self.executor.submit(query_text, on_complete, on_epoch)
+
+    def query(self, query_text: str, horizon_s: float = 1e7) -> list[QueryOutcome]:
+        """Synchronous convenience: submit, simulate, return outcomes.
+
+        Advances the shared simulator until the query completes (bounded
+        by ``horizon_s`` of virtual time).
+        """
+        done: list[list[QueryOutcome]] = []
+        self.executor.submit(query_text, done.append)
+        deadline = self.sim.now + horizon_s
+        # step event by event so the clock stops at the completion event
+        # (a chunked run() would overshoot into any background activity)
+        while not done and self.sim.now < deadline:
+            if not self.sim.step():
+                break  # heap empty; query cannot finish
+        if not done:
+            raise TimeoutError(f"query did not complete within {horizon_s} s of virtual time")
+        return done[0]
+
+    # ------------------------------------------------------------------
+    def energy_consumed_j(self) -> float:
+        """Total sensor energy drawn so far."""
+        return self.deployment.total_sensor_energy_consumed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PervasiveGridRuntime(sensors={self.deployment.n_sensors}, "
+            f"policy={self.policy.name}, t={self.sim.now:.3g}s)"
+        )

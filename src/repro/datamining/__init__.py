@@ -1,0 +1,51 @@
+"""Distributed stream mining (the paper's §3 composite task).
+
+"a particular analysis technique for streams tries to create ensembles of
+decision trees from the data stream and then combine them.  First the
+system needs to figure out that this task has several components --
+generating decision trees, computing their Fourier spectra, choosing the
+dominant components, and combining them to create a single tree."
+
+This package implements every component from scratch, following the
+Kargupta & Park mobile-mining approach the paper cites [17]:
+
+* :mod:`~repro.datamining.stream` -- synthetic labelled boolean-feature
+  streams with noise and concept drift.
+* :mod:`~repro.datamining.tree` -- greedy information-gain decision trees.
+* :mod:`~repro.datamining.fourier` -- Walsh/Fourier spectra of boolean
+  functions (fast Walsh-Hadamard transform), dominant-coefficient
+  truncation, reconstruction.
+* :mod:`~repro.datamining.ensemble` -- spectrum-domain ensemble
+  aggregation into a single compact model, plus a majority-vote baseline.
+"""
+
+from repro.datamining.stream import LabeledStream, partition_stream
+from repro.datamining.tree import DecisionTree
+from repro.datamining.fourier import (
+    walsh_hadamard,
+    spectrum_of,
+    truncate_spectrum,
+    FourierFunction,
+)
+from repro.datamining.online import OnlineFourierEnsemble
+from repro.datamining.ensemble import (
+    average_spectra,
+    combine_via_fourier,
+    MajorityVote,
+    accuracy,
+)
+
+__all__ = [
+    "LabeledStream",
+    "partition_stream",
+    "DecisionTree",
+    "walsh_hadamard",
+    "spectrum_of",
+    "truncate_spectrum",
+    "FourierFunction",
+    "average_spectra",
+    "combine_via_fourier",
+    "MajorityVote",
+    "OnlineFourierEnsemble",
+    "accuracy",
+]

@@ -1,0 +1,64 @@
+"""Ensemble aggregation: spectrum averaging and majority vote.
+
+"combining them to create a single tree" -- the ensemble of per-device
+trees is merged *in the Fourier domain*: average the member spectra
+(the spectrum of the ensemble's average vote), keep the dominant
+coefficients, and the result is one compact classifier whose wire size is
+a handful of coefficients rather than a model or a data stream.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.datamining.fourier import FourierFunction, spectrum_of, truncate_spectrum
+
+
+def average_spectra(spectra: typing.Sequence[np.ndarray]) -> np.ndarray:
+    """Coefficient-wise mean of member spectra (all same length)."""
+    if not spectra:
+        raise ValueError("need at least one spectrum")
+    first = np.asarray(spectra[0], dtype=np.float64)
+    out = first.copy()
+    for s in spectra[1:]:
+        arr = np.asarray(s, dtype=np.float64)
+        if arr.shape != first.shape:
+            raise ValueError("spectra length mismatch")
+        out += arr
+    return out / len(spectra)
+
+
+def combine_via_fourier(
+    predictors: typing.Sequence[typing.Callable[[np.ndarray], np.ndarray]],
+    d: int,
+    k_coefficients: int,
+) -> FourierFunction:
+    """The full §3 pipeline: spectra → average → truncate → one model."""
+    spectra = [spectrum_of(p, d) for p in predictors]
+    avg = average_spectra(spectra)
+    return FourierFunction(truncate_spectrum(avg, k_coefficients), d)
+
+
+class MajorityVote:
+    """Baseline ensemble: unweighted vote of all member predictors."""
+
+    def __init__(self, predictors: typing.Sequence[typing.Callable[[np.ndarray], np.ndarray]]) -> None:
+        if not predictors:
+            raise ValueError("need at least one predictor")
+        self.predictors = list(predictors)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority label over members (ties -> 1, matching >= 0.5)."""
+        votes = np.zeros(len(X), dtype=np.float64)
+        for p in self.predictors:
+            votes += np.asarray(p(X), dtype=np.float64)
+        return (votes >= len(self.predictors) / 2.0).astype(np.uint8)
+
+
+def accuracy(predict: typing.Callable[[np.ndarray], np.ndarray], X: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of correct labels on a batch."""
+    if len(X) == 0:
+        raise ValueError("empty evaluation batch")
+    return float(np.mean(np.asarray(predict(X)).ravel() == np.asarray(y).ravel()))

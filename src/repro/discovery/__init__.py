@@ -1,0 +1,49 @@
+"""Semantic service discovery (paper §3).
+
+The paper's critique of Jini/SDP/SLP-era discovery is that services are
+described "entirely in syntactic terms as interface descriptions",
+matching is exact, and "only equality constraints" are expressible -- you
+cannot ask for "a printer service that has the shortest print queue, that
+is geographically the closest, or that will print in color but only
+within a prespecified cost constraint".
+
+This package reproduces the semantic alternative the paper proposes
+(DAML/DAML-S descriptions matched fuzzily against an ontology, returning
+*ranked* lists) **and** the syntactic baselines it criticizes, so the
+expressiveness gap is measurable (experiment E5):
+
+* :mod:`~repro.discovery.ontology` -- a description-logic-lite class
+  hierarchy with subsumption and semantic distance.
+* :mod:`~repro.discovery.description` -- service profiles and requests.
+* :mod:`~repro.discovery.constraints` -- non-equality constraints and
+  soft preferences.
+* :mod:`~repro.discovery.matcher` -- degrees EXACT > PLUGIN > SUBSUMES >
+  OVERLAP > FAIL with fuzzy scoring and ranking.
+* :mod:`~repro.discovery.registry` -- local and distributed broker
+  registries.
+* :mod:`~repro.discovery.broker` -- the broker *agent* speaking ACL.
+* :mod:`~repro.discovery.protocols` -- Jini interface matching,
+  Bluetooth-SDP UUID matching, and SLP attribute matching baselines.
+"""
+
+from repro.discovery.ontology import Ontology, build_service_ontology
+from repro.discovery.constraints import Constraint, Preference
+from repro.discovery.description import ServiceDescription, ServiceRequest
+from repro.discovery.matcher import MatchDegree, MatchResult, SemanticMatcher
+from repro.discovery.registry import ServiceRegistry, DistributedBrokerNetwork
+from repro.discovery.broker import BrokerAgent
+
+__all__ = [
+    "Ontology",
+    "build_service_ontology",
+    "Constraint",
+    "Preference",
+    "ServiceDescription",
+    "ServiceRequest",
+    "MatchDegree",
+    "MatchResult",
+    "SemanticMatcher",
+    "ServiceRegistry",
+    "DistributedBrokerNetwork",
+    "BrokerAgent",
+]

@@ -1,0 +1,111 @@
+"""Constraints and preferences over service attributes.
+
+The expressiveness the paper says Jini-era discovery lacks: requests can
+carry *non-equality* hard constraints ("will print in color but only
+within a prespecified cost constraint") and soft *preferences* that rank
+the surviving candidates ("the shortest print queue", "geographically the
+closest").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+#: Supported comparison operators for hard constraints.
+OPERATORS: dict[str, typing.Callable[[typing.Any, typing.Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "in": lambda a, b: a in b,
+    "contains": lambda a, b: b in a,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """A hard predicate over one service attribute.
+
+    ``attribute op value`` -- e.g. ``Constraint("cost_per_page", "<=", 0.10)``.
+    A service missing the attribute fails the constraint (closed-world).
+
+    Attributes
+    ----------
+    attribute:
+        Attribute name in the service description.
+    op:
+        One of :data:`OPERATORS`.
+    value:
+        The comparison operand.
+    """
+
+    attribute: str
+    op: str
+    value: typing.Any
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}; expected one of {sorted(OPERATORS)}")
+
+    def satisfied_by(self, attributes: typing.Mapping[str, typing.Any]) -> bool:
+        """Evaluate against a service's attribute mapping."""
+        if self.attribute not in attributes:
+            return False
+        try:
+            return bool(OPERATORS[self.op](attributes[self.attribute], self.value))
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Preference:
+    """A soft ranking criterion over one numeric attribute.
+
+    ``goal`` is ``"minimize"`` or ``"maximize"``; ``weight`` scales this
+    preference's contribution to the overall utility.  Utilities are
+    normalized per candidate set, so weights are comparable across
+    attributes with different units.
+    """
+
+    attribute: str
+    goal: str = "minimize"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("minimize", "maximize"):
+            raise ValueError("goal must be 'minimize' or 'maximize'")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+
+    def utilities(self, candidates: list[typing.Mapping[str, typing.Any]]) -> list[float]:
+        """Normalized utility in [0, 1] per candidate (0.5 when absent).
+
+        Min-max normalized over the candidate set; a candidate set with a
+        constant attribute value gets utility 1.0 everywhere (all tie).
+        """
+        values = []
+        for attrs in candidates:
+            v = attrs.get(self.attribute)
+            values.append(float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else math.nan)
+        present = [v for v in values if not math.isnan(v)]
+        if not present:
+            return [0.5] * len(candidates)
+        lo, hi = min(present), max(present)
+        span = hi - lo
+        out = []
+        for v in values:
+            if math.isnan(v):
+                out.append(0.5)
+            elif span == 0.0:
+                out.append(1.0)
+            else:
+                u = (v - lo) / span
+                out.append(1.0 - u if self.goal == "minimize" else u)
+        return out

@@ -1,0 +1,20 @@
+"""Baseline discovery protocols the paper criticizes.
+
+Each baseline matches against the *same* :class:`~repro.discovery.description.ServiceDescription`
+population as the semantic matcher, but using only the information its
+real-world counterpart would have:
+
+* :class:`~repro.discovery.protocols.jini.JiniLookup` -- exact interface-
+  name matching ("sufficient ... to find a service that implements the
+  method printIt()", nothing more).
+* :class:`~repro.discovery.protocols.sdp.BluetoothSDP` -- "relies on
+  unique 128 bit UUIDs to describe and match services".
+* :class:`~repro.discovery.protocols.slp.SLPDirectory` -- service-type
+  string plus attribute *equality* predicates (RFC 2608).
+"""
+
+from repro.discovery.protocols.jini import JiniLookup
+from repro.discovery.protocols.sdp import BluetoothSDP
+from repro.discovery.protocols.slp import SLPDirectory
+
+__all__ = ["JiniLookup", "BluetoothSDP", "SLPDirectory"]

@@ -1,0 +1,50 @@
+"""Jini-style lookup: exact interface matching.
+
+"The Jini discovery and lookup protocols are sufficient for service
+clients to find a service that implements the method printIt().  However,
+they are not sufficient for clients to find a printer service that has
+the shortest print queue ..." (§3)
+
+The lookup returns the *unranked* set of services registering the exact
+interface name requested.  No taxonomy, no constraints, no preferences.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.description import ServiceDescription
+
+
+class JiniLookup:
+    """An interface-name → services lookup table."""
+
+    def __init__(self) -> None:
+        self._by_interface: dict[str, dict[str, ServiceDescription]] = {}
+        self._names: dict[str, ServiceDescription] = {}
+
+    def register(self, service: ServiceDescription) -> None:
+        """Register under every interface the service declares."""
+        self._names[service.name] = service
+        for iface in service.interfaces:
+            self._by_interface.setdefault(iface, {})[service.name] = service
+
+    def unregister(self, service_name: str) -> bool:
+        """Remove a registration; True if it was present."""
+        service = self._names.pop(service_name, None)
+        if service is None:
+            return False
+        for iface in service.interfaces:
+            self._by_interface.get(iface, {}).pop(service_name, None)
+        return True
+
+    def lookup(self, interface: str) -> list[ServiceDescription]:
+        """All services implementing exactly ``interface`` (name order).
+
+        Jini's semantics: an exact string match on the interface name; a
+        request for ``"Printer"`` does not find ``"ColorPrinter"``
+        registrations and vice versa.
+        """
+        table = self._by_interface.get(interface, {})
+        return [table[n] for n in sorted(table)]
+
+    def __len__(self) -> int:
+        return len(self._names)

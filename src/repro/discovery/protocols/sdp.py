@@ -1,0 +1,56 @@
+"""Bluetooth SDP-style lookup: UUID equality only.
+
+"Bluetooth SDP relies on unique 128 bit UUIDs to describe and match
+services.  This is clearly inadequate." (§3)
+
+A client must already know the exact UUID of the service class it wants;
+there is no taxonomy, no attributes, no ranking.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.description import ServiceDescription
+
+
+class BluetoothSDP:
+    """A UUID → services table.
+
+    Real SDP assigns a UUID per service *class*; we model class UUIDs by
+    letting multiple services share a ``class_uuid`` attribute, falling
+    back to the instance UUID when absent.
+    """
+
+    #: Attribute key carrying the advertised service-class UUID.
+    CLASS_UUID_ATTR = "class_uuid"
+
+    def __init__(self) -> None:
+        self._by_uuid: dict[str, dict[str, ServiceDescription]] = {}
+        self._names: dict[str, ServiceDescription] = {}
+
+    @staticmethod
+    def advertised_uuid(service: ServiceDescription) -> str:
+        """The UUID a service would put in its SDP record."""
+        return str(service.attributes.get(BluetoothSDP.CLASS_UUID_ATTR, service.uuid))
+
+    def register(self, service: ServiceDescription) -> None:
+        """Add a service record."""
+        self._names[service.name] = service
+        uuid = self.advertised_uuid(service)
+        self._by_uuid.setdefault(uuid, {})[service.name] = service
+
+    def unregister(self, service_name: str) -> bool:
+        """Remove a service record; True if present."""
+        service = self._names.pop(service_name, None)
+        if service is None:
+            return False
+        uuid = self.advertised_uuid(service)
+        self._by_uuid.get(uuid, {}).pop(service_name, None)
+        return True
+
+    def lookup(self, uuid: str) -> list[ServiceDescription]:
+        """Services whose advertised UUID equals ``uuid`` exactly."""
+        table = self._by_uuid.get(uuid, {})
+        return [table[n] for n in sorted(table)]
+
+    def __len__(self) -> int:
+        return len(self._names)

@@ -1,0 +1,59 @@
+"""SLP-style directory: service type + attribute equality predicates.
+
+IETF Service Location Protocol (RFC 2608, cited as [12]) matches a
+service-type string exactly and filters on attribute (in)equality -- more
+expressive than Jini/SDP but still "describ[ing] services entirely in
+syntactic terms", with exact type strings and no ranking.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.discovery.description import ServiceDescription
+
+
+class SLPDirectory:
+    """A directory agent holding (service-type, attributes) records."""
+
+    #: Attribute key carrying the advertised SLP service type string.
+    SERVICE_TYPE_ATTR = "slp_type"
+
+    def __init__(self) -> None:
+        self._records: dict[str, ServiceDescription] = {}
+
+    @staticmethod
+    def advertised_type(service: ServiceDescription) -> str:
+        """The service-type string an SLP SA would register."""
+        return str(service.attributes.get(SLPDirectory.SERVICE_TYPE_ATTR, service.category))
+
+    def register(self, service: ServiceDescription) -> None:
+        """Add a record."""
+        self._records[service.name] = service
+
+    def unregister(self, service_name: str) -> bool:
+        """Remove a record; True if present."""
+        return self._records.pop(service_name, None) is not None
+
+    def lookup(
+        self,
+        service_type: str,
+        where: typing.Mapping[str, typing.Any] | None = None,
+    ) -> list[ServiceDescription]:
+        """Exact-type matches whose attributes equal every ``where`` entry.
+
+        Unranked (name order).  Missing attributes fail the predicate,
+        matching SLP's closed-world filter evaluation.
+        """
+        out = []
+        for name in sorted(self._records):
+            svc = self._records[name]
+            if self.advertised_type(svc) != service_type:
+                continue
+            if where and any(svc.attributes.get(k) != v for k, v in where.items()):
+                continue
+            out.append(svc)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,153 @@
+"""Service registries: local and distributed-broker.
+
+"UDDI's present highly centralized model is not appropriate for our
+scenario, but ... a distributed set of brokers could be created." (§3)
+
+:class:`ServiceRegistry` is one broker's store.  :class:`DistributedBrokerNetwork`
+links several registries into a peering overlay: a query hits the local
+broker first and is forwarded to peers up to a hop limit, merging ranked
+results -- the decentralized alternative to one UDDI node.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.discovery.description import ServiceDescription, ServiceRequest
+from repro.discovery.matcher import MatchResult, SemanticMatcher
+
+
+class ServiceRegistry:
+    """One broker's advertisement store with semantic search.
+
+    Parameters
+    ----------
+    matcher:
+        The semantic matcher used for searches.
+    name:
+        Broker name (diagnostics, peering).
+    """
+
+    def __init__(self, matcher: SemanticMatcher, name: str = "registry") -> None:
+        self.matcher = matcher
+        self.name = name
+        self._services: dict[str, ServiceDescription] = {}
+        self.advertise_count = 0
+        self.search_count = 0
+
+    # ------------------------------------------------------------------
+    def advertise(self, service: ServiceDescription) -> None:
+        """Register (or refresh) a service advertisement."""
+        self._services[service.name] = service
+        self.advertise_count += 1
+
+    def withdraw(self, service_name: str) -> bool:
+        """Remove an advertisement; True if it was present."""
+        return self._services.pop(service_name, None) is not None
+
+    def withdraw_host(self, host_node: int) -> int:
+        """Drop every advertisement from ``host_node`` (its node went down).
+
+        Returns the number withdrawn.  Churn processes call this via
+        their ``on_change`` hook.
+        """
+        doomed = [n for n, s in self._services.items() if s.host_node == host_node]
+        for name in doomed:
+            del self._services[name]
+        return len(doomed)
+
+    def get(self, service_name: str) -> ServiceDescription | None:
+        """Look up one advertisement by name."""
+        return self._services.get(service_name)
+
+    def services(self) -> list[ServiceDescription]:
+        """All current advertisements, by name order."""
+        return [self._services[n] for n in sorted(self._services)]
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    # ------------------------------------------------------------------
+    def search(self, request: ServiceRequest, top_k: int | None = None) -> list[MatchResult]:
+        """Ranked semantic matches among local advertisements."""
+        self.search_count += 1
+        return self.matcher.rank(request, self.services(), top_k=top_k)
+
+
+class DistributedBrokerNetwork:
+    """A peering overlay of registries.
+
+    Parameters
+    ----------
+    registries:
+        The member brokers.
+    peers:
+        Adjacency as ``{broker_name: [peer_names]}``; defaults to a full
+        mesh.
+
+    Queries start at a home broker and propagate breadth-first up to
+    ``max_hops`` peer hops; results are merged, deduplicated by service
+    name (best result wins) and re-sorted.
+    """
+
+    def __init__(
+        self,
+        registries: list[ServiceRegistry],
+        peers: dict[str, list[str]] | None = None,
+    ) -> None:
+        if not registries:
+            raise ValueError("need at least one registry")
+        self.registries = {r.name: r for r in registries}
+        if len(self.registries) != len(registries):
+            raise ValueError("registry names must be unique")
+        if peers is None:
+            peers = {
+                name: [other for other in self.registries if other != name]
+                for name in self.registries
+            }
+        for name, plist in peers.items():
+            if name not in self.registries:
+                raise KeyError(f"unknown broker {name!r}")
+            for p in plist:
+                if p not in self.registries:
+                    raise KeyError(f"unknown peer {p!r}")
+        self.peers = peers
+
+    def home_of(self, host_node: int | None, assignment: typing.Callable[[int | None], str]) -> ServiceRegistry:
+        """Resolve the home broker for a host via an assignment function."""
+        return self.registries[assignment(host_node)]
+
+    def search(
+        self,
+        request: ServiceRequest,
+        home: str,
+        max_hops: int = 1,
+        top_k: int | None = None,
+    ) -> tuple[list[MatchResult], int]:
+        """Federated search from ``home``; returns (results, brokers_asked)."""
+        if home not in self.registries:
+            raise KeyError(f"unknown broker {home!r}")
+        visited = {home}
+        frontier = [home]
+        merged: dict[str, MatchResult] = {}
+        hops = 0
+        while frontier:
+            for name in frontier:
+                for result in self.registries[name].search(request):
+                    prev = merged.get(result.service.name)
+                    if prev is None or result.sort_key() < prev.sort_key():
+                        merged[result.service.name] = result
+            if hops >= max_hops:
+                break
+            nxt = []
+            for name in frontier:
+                for peer in self.peers.get(name, []):
+                    if peer not in visited:
+                        visited.add(peer)
+                        nxt.append(peer)
+            frontier = nxt
+            hops += 1
+        results = sorted(merged.values(), key=MatchResult.sort_key)
+        if top_k is not None:
+            results = results[:top_k]
+        return results, len(visited)

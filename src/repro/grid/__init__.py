@@ -1,0 +1,30 @@
+"""Wired Grid substrate.
+
+Simulates the "networked computational resources (a.k.a 'The Grid')" the
+pervasive layer offloads to: compute sites with finite throughput and FIFO
+queues, a least-loaded scheduler, and a WAN uplink from each base station.
+Only *relative* compute and transfer costs matter for the partitioning
+decision, so sites are modelled by an effective ops/second rate rather
+than by microarchitecture.
+
+* :mod:`~repro.grid.job` -- :class:`ComputeJob` descriptions.
+* :mod:`~repro.grid.resource` -- :class:`GridResource`, a queued server.
+* :mod:`~repro.grid.scheduler` -- least-loaded dispatch across sites.
+* :mod:`~repro.grid.uplink` -- the base-station-to-grid WAN link.
+* :mod:`~repro.grid.infrastructure` -- :class:`GridInfrastructure` façade.
+"""
+
+from repro.grid.job import ComputeJob, JobResult
+from repro.grid.resource import GridResource
+from repro.grid.scheduler import GridScheduler
+from repro.grid.uplink import Uplink
+from repro.grid.infrastructure import GridInfrastructure
+
+__all__ = [
+    "ComputeJob",
+    "JobResult",
+    "GridResource",
+    "GridScheduler",
+    "Uplink",
+    "GridInfrastructure",
+]

@@ -1,0 +1,93 @@
+"""The grid façade: sites + scheduler + uplink in one object."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simkernel import Simulator
+from repro.grid.job import ComputeJob, JobResult
+from repro.grid.resource import GridResource
+from repro.grid.scheduler import GridScheduler
+from repro.grid.uplink import Uplink
+
+
+class GridInfrastructure:
+    """Everything behind the base station's uplink.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    site_rates:
+        ops/second of each compute site (default: one workstation-class
+        and one supercomputer-class site, the paper's "from the ASCI
+        terraflop machines to workstations" span).
+    uplink:
+        WAN link from the base station (default 10 Mb/s, 50 ms).
+
+    The canonical offload pattern is :meth:`offload`: upload input bits,
+    run the job on the best site, download output bits, then invoke the
+    caller's callback.  :meth:`estimate_offload_time` predicts the same
+    pipeline without executing it -- the Decision Maker compares this
+    estimate against in-network execution.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site_rates: typing.Sequence[float] = (1e9, 1e12),
+        uplink: Uplink | None = None,
+    ) -> None:
+        self.sim = sim
+        self.resources = [
+            GridResource(sim, name=f"site{i}", ops_per_second=rate)
+            for i, rate in enumerate(site_rates)
+        ]
+        self.scheduler = GridScheduler(self.resources)
+        self.uplink = uplink or Uplink(sim)
+
+    # ------------------------------------------------------------------
+    @property
+    def online(self) -> bool:
+        """Whether the grid is reachable through the uplink."""
+        return self.uplink.online
+
+    def estimate_offload_time(self, job: ComputeJob) -> float:
+        """Predicted upload + queue + compute + download time for ``job``."""
+        upload = self.uplink.transfer_time(job.input_bits)
+        compute = self.scheduler.estimate_turnaround(job)
+        download = self.uplink.transfer_time(job.output_bits)
+        return upload + compute + download
+
+    def offload(
+        self,
+        job: ComputeJob,
+        on_complete: typing.Callable[[JobResult], None] | None = None,
+    ) -> None:
+        """Run ``job`` on the grid: upload, execute, download, callback."""
+
+        def after_upload() -> None:
+            def after_compute(result: JobResult) -> None:
+                def after_download() -> None:
+                    if on_complete is not None:
+                        # re-stamp finish time to include the download leg
+                        on_complete(
+                            JobResult(
+                                job_id=result.job_id,
+                                value=result.value,
+                                submitted_at=result.submitted_at,
+                                started_at=result.started_at,
+                                finished_at=self.sim.now,
+                                resource=result.resource,
+                            )
+                        )
+
+                self.uplink.transfer(job.output_bits, after_download)
+
+            self.scheduler.submit(job, after_compute)
+
+        self.uplink.transfer(job.input_bits, after_upload)
+
+    def fastest_rate(self) -> float:
+        """ops/second of the fastest site (used by cost estimators)."""
+        return max(r.ops_per_second for r in self.resources)

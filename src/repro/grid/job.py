@@ -1,0 +1,79 @@
+"""Compute job descriptions."""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+_job_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class ComputeJob:
+    """One unit of work submitted to the grid (or run locally).
+
+    Attributes
+    ----------
+    ops:
+        Abstract operation count (floating-point-op-equivalents).  The
+        query cost model produces this; resources divide by their rate.
+    input_bits / output_bits:
+        Data shipped to / from the compute site, driving transfer cost.
+    compute:
+        Optional callable performing the *actual* computation (e.g. the
+        PDE solve); invoked at completion so results are real, while
+        timing comes from the cost model.
+    name:
+        Human-readable tag.
+    """
+
+    ops: float
+    input_bits: float = 0.0
+    output_bits: float = 0.0
+    compute: typing.Callable[[], typing.Any] | None = None
+    name: str = ""
+    job_id: int = dataclasses.field(default_factory=lambda: next(_job_ids))
+
+    def __post_init__(self) -> None:
+        if self.ops < 0 or self.input_bits < 0 or self.output_bits < 0:
+            raise ValueError("ops and bit counts must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobResult:
+    """Completion record for a job.
+
+    Attributes
+    ----------
+    job_id:
+        Id of the completed job.
+    value:
+        Return value of the job's ``compute`` callable (None if absent).
+    submitted_at / started_at / finished_at:
+        Queueing timeline in virtual time.
+    resource:
+        Name of the site that ran the job.
+    """
+
+    job_id: int
+    value: typing.Any
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    resource: str
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Seconds spent waiting in the site's queue."""
+        return self.started_at - self.submitted_at
+
+    @property
+    def service_s(self) -> float:
+        """Seconds spent executing."""
+        return self.finished_at - self.started_at
+
+    @property
+    def turnaround_s(self) -> float:
+        """Submit-to-finish wall time."""
+        return self.finished_at - self.submitted_at

@@ -1,0 +1,98 @@
+"""A grid compute site: a FIFO-queued server with a fixed ops/s rate."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simkernel import Simulator
+from repro.grid.job import ComputeJob, JobResult
+
+
+class GridResource:
+    """One compute site (workstation cluster, supercomputer partition).
+
+    Jobs are served FIFO at ``ops_per_second``.  The site tracks when it
+    will next be free, so ``submit`` can be called at any time and the job
+    simply queues.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    name:
+        Site name (appears in :class:`~repro.grid.job.JobResult`).
+    ops_per_second:
+        Effective throughput.
+    """
+
+    def __init__(self, sim: Simulator, name: str, ops_per_second: float) -> None:
+        if ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+        self.sim = sim
+        self.name = name
+        self.ops_per_second = float(ops_per_second)
+        self._free_at = sim.now
+        self.jobs_completed = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def free_at(self) -> float:
+        """Virtual time at which the current queue drains."""
+        return max(self._free_at, self.sim.now)
+
+    @property
+    def backlog_s(self) -> float:
+        """Seconds of queued work ahead of a new submission."""
+        return max(self._free_at - self.sim.now, 0.0)
+
+    def service_time(self, job: ComputeJob) -> float:
+        """Execution time for ``job`` on this site (excludes queueing)."""
+        return job.ops / self.ops_per_second
+
+    def estimate_turnaround(self, job: ComputeJob) -> float:
+        """Queue wait + service time if submitted now."""
+        return self.backlog_s + self.service_time(job)
+
+    def submit(
+        self,
+        job: ComputeJob,
+        on_complete: typing.Callable[[JobResult], None] | None = None,
+    ) -> float:
+        """Enqueue ``job``; returns its predicted finish time.
+
+        ``on_complete`` fires (with the :class:`JobResult`) when the job
+        finishes; the job's ``compute`` callable runs at that moment.
+        """
+        submitted = self.sim.now
+        started = self.free_at
+        service = self.service_time(job)
+        finished = started + service
+        self._free_at = finished
+        self.busy_seconds += service
+
+        def complete() -> None:
+            value = job.compute() if job.compute is not None else None
+            self.jobs_completed += 1
+            if on_complete is not None:
+                on_complete(
+                    JobResult(
+                        job_id=job.job_id,
+                        value=value,
+                        submitted_at=submitted,
+                        started_at=started,
+                        finished_at=finished,
+                        resource=self.name,
+                    )
+                )
+
+        self.sim.schedule(finished - submitted, complete, label=f"job:{job.job_id}")
+        return finished
+
+    def utilization(self, horizon_s: float) -> float:
+        """Busy fraction over a horizon (for scheduler diagnostics)."""
+        if horizon_s <= 0:
+            return 0.0
+        return min(self.busy_seconds / horizon_s, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridResource({self.name!r}, {self.ops_per_second:.3g} ops/s, backlog={self.backlog_s:.3g}s)"

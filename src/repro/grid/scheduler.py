@@ -1,0 +1,42 @@
+"""Least-loaded dispatch across grid sites."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.grid.job import ComputeJob, JobResult
+from repro.grid.resource import GridResource
+
+
+class GridScheduler:
+    """Chooses the site with the earliest predicted finish for each job.
+
+    This is the classic MCT (minimum completion time) heuristic used by
+    grid metaschedulers of the paper's era; it is deterministic (ties
+    broken by registration order).
+    """
+
+    def __init__(self, resources: list[GridResource]) -> None:
+        if not resources:
+            raise ValueError("scheduler needs at least one resource")
+        self.resources = list(resources)
+        self.dispatched = 0
+
+    def best_resource(self, job: ComputeJob) -> GridResource:
+        """The site minimizing queue-wait + service time for ``job``."""
+        return min(self.resources, key=lambda r: r.estimate_turnaround(job))
+
+    def estimate_turnaround(self, job: ComputeJob) -> float:
+        """Turnaround of ``job`` on the best site, if submitted now."""
+        return self.best_resource(job).estimate_turnaround(job)
+
+    def submit(
+        self,
+        job: ComputeJob,
+        on_complete: typing.Callable[[JobResult], None] | None = None,
+    ) -> GridResource:
+        """Dispatch ``job`` to the best site; returns the chosen site."""
+        resource = self.best_resource(job)
+        resource.submit(job, on_complete)
+        self.dispatched += 1
+        return resource

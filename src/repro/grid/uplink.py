@@ -1,0 +1,66 @@
+"""The base-station-to-grid WAN uplink."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simkernel import Simulator
+
+
+class Uplink:
+    """A shared-capacity WAN link between a base station and the grid.
+
+    Transfers are serialized (one pipe): a transfer submitted while
+    another is in flight queues behind it.  This models the paper's point
+    that shipping raw sensor streams can exceed "the capacity of the
+    wireless connections" and the base station's uplink.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Link throughput.
+    latency_s:
+        One-way propagation latency per transfer.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6, latency_s: float = 0.05) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency_s < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self._free_at = sim.now
+        self.bits_transferred = 0.0
+        self.transfers = 0
+        #: WAN availability: False models a backhaul outage -- the
+        #: pervasive layer must then keep computation local.
+        self.online = True
+
+    def transfer_time(self, bits: float) -> float:
+        """Unloaded transfer time for ``bits`` (no queueing)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return bits / self.bandwidth_bps + self.latency_s
+
+    def estimate_completion(self, bits: float) -> float:
+        """Finish time if a transfer of ``bits`` were submitted now."""
+        start = max(self._free_at, self.sim.now)
+        return start + self.transfer_time(bits)
+
+    def transfer(self, bits: float, on_complete: typing.Callable[[], None] | None = None) -> float:
+        """Start a transfer; returns its finish time.
+
+        Raises ``RuntimeError`` during an outage -- callers must check
+        :attr:`online` (the execution models do).
+        """
+        if not self.online:
+            raise RuntimeError("uplink is offline")
+        finish = self.estimate_completion(bits)
+        self._free_at = finish
+        self.bits_transferred += bits
+        self.transfers += 1
+        if on_complete is not None:
+            self.sim.schedule(finish - self.sim.now, on_complete, label="uplink-transfer")
+        return finish

@@ -1,0 +1,48 @@
+"""Wireless/pervasive network substrate.
+
+This package simulates the "country roads" of the pervasive grid (the
+paper's phrase): ad-hoc, short-range wireless networks connecting sensors,
+handhelds and base stations.  The paper used GloMoSim for exactly this
+purpose; we provide an equivalent discrete-event substrate:
+
+* :mod:`~repro.network.geometry` -- vectorized positions/distances.
+* :mod:`~repro.network.topology` -- unit-disc connectivity graph over node
+  positions, neighbor queries, dynamic recomputation under mobility.
+* :mod:`~repro.network.mobility` -- static placement and random-waypoint
+  mobility.
+* :mod:`~repro.network.radio` -- the first-order radio energy model
+  (Heinzelman et al.), link bandwidth/latency/loss.
+* :mod:`~repro.network.energy` -- per-node batteries.
+* :mod:`~repro.network.message` -- messages and delivery receipts.
+* :mod:`~repro.network.network` -- :class:`WirelessNetwork`, the façade
+  that delivers messages hop-by-hop with latency, loss, energy accounting
+  and disconnection churn.
+* :mod:`~repro.network.routing` -- flooding, gossiping, spanning/
+  aggregation trees and cluster formation (the routing techniques §4 of
+  the paper names).
+"""
+
+from repro.network.geometry import pairwise_distances, distance
+from repro.network.energy import Battery, RadioEnergyModel
+from repro.network.radio import RadioModel
+from repro.network.message import Message, DeliveryReceipt
+from repro.network.topology import Topology
+from repro.network.mobility import StaticPlacement, RandomWaypoint, grid_positions, random_positions
+from repro.network.network import WirelessNetwork, NetworkNode
+
+__all__ = [
+    "pairwise_distances",
+    "distance",
+    "Battery",
+    "RadioEnergyModel",
+    "RadioModel",
+    "Message",
+    "DeliveryReceipt",
+    "Topology",
+    "StaticPlacement",
+    "RandomWaypoint",
+    "grid_positions",
+    "random_positions",
+    "WirelessNetwork",
+    "NetworkNode",
+]

@@ -1,0 +1,122 @@
+"""Node batteries and the first-order radio energy model.
+
+The paper's §4 makes sensor energy the first-class cost ("preserving the
+energy of the sensors is of prime importance").  We use the standard
+first-order radio model from the sensor-network literature the paper
+builds on (TAG, LEACH, Kalpakis et al.):
+
+* transmitting ``k`` bits over distance ``d`` costs
+  ``E_elec * k + eps_amp * k * d**2`` joules,
+* receiving ``k`` bits costs ``E_elec * k`` joules,
+* each CPU operation costs ``e_cpu`` joules (orders of magnitude below a
+  transmitted bit, which is what makes in-network aggregation pay off).
+
+Defaults follow Heinzelman et al.: ``E_elec = 50 nJ/bit``,
+``eps_amp = 100 pJ/bit/m^2``, ``e_cpu = 5 pJ/op``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RadioEnergyModel:
+    """Energy cost parameters for radio and CPU activity.
+
+    Attributes
+    ----------
+    e_elec:
+        Electronics energy per bit, J/bit (both tx and rx paths).
+    eps_amp:
+        Transmit-amplifier energy per bit per square metre, J/bit/m^2.
+    e_cpu_op:
+        Energy per CPU operation, J/op.
+    e_sense:
+        Energy per sensor sample, J/sample.
+    """
+
+    e_elec: float = 50e-9
+    eps_amp: float = 100e-12
+    e_cpu_op: float = 5e-12
+    e_sense: float = 50e-9
+
+    def tx_cost(self, bits: float, dist: float) -> float:
+        """Joules to transmit ``bits`` over ``dist`` metres."""
+        if bits < 0 or dist < 0:
+            raise ValueError("bits and dist must be non-negative")
+        return self.e_elec * bits + self.eps_amp * bits * dist * dist
+
+    def rx_cost(self, bits: float) -> float:
+        """Joules to receive ``bits``."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        return self.e_elec * bits
+
+    def cpu_cost(self, ops: float) -> float:
+        """Joules to execute ``ops`` CPU operations."""
+        if ops < 0:
+            raise ValueError("ops must be non-negative")
+        return self.e_cpu_op * ops
+
+    def sense_cost(self, samples: float = 1.0) -> float:
+        """Joules to take ``samples`` sensor readings."""
+        return self.e_sense * samples
+
+
+class Battery:
+    """A finite (or infinite) energy reserve attached to a node.
+
+    Draws are accepted even when they overdraw the remaining charge -- the
+    battery clamps at zero and flips :attr:`depleted`, which is how node
+    death is detected.  Base stations and grid resources use
+    ``Battery(float("inf"))``.
+    """
+
+    __slots__ = ("capacity", "_remaining", "consumed", "draws")
+
+    def __init__(self, capacity_joules: float = 1.0) -> None:
+        if capacity_joules < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = float(capacity_joules)
+        self._remaining = float(capacity_joules)
+        #: Total joules actually drawn (capped at capacity for finite cells).
+        self.consumed = 0.0
+        #: Number of draw() calls, for instrumentation.
+        self.draws = 0
+
+    @property
+    def remaining(self) -> float:
+        """Joules left (0 when depleted; inf for mains-powered nodes)."""
+        return self._remaining
+
+    @property
+    def depleted(self) -> bool:
+        """True once the battery has hit zero."""
+        return self._remaining <= 0.0
+
+    @property
+    def fraction_remaining(self) -> float:
+        """Remaining charge as a fraction of capacity (1.0 for infinite)."""
+        if self.capacity == float("inf"):
+            return 1.0
+        if self.capacity == 0.0:
+            return 0.0
+        return self._remaining / self.capacity
+
+    def draw(self, joules: float) -> bool:
+        """Consume ``joules``; return True if the node is still alive.
+
+        A draw that exceeds the remaining charge consumes whatever is left
+        and leaves the battery depleted.
+        """
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        self.draws += 1
+        taken = min(joules, self._remaining)
+        self.consumed += taken
+        self._remaining -= taken
+        return not self.depleted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Battery(remaining={self._remaining:.4g}/{self.capacity:.4g} J)"

@@ -1,0 +1,58 @@
+"""Vectorized geometry helpers.
+
+All positions in the substrate are ``(n, 2)`` float64 arrays in metres.
+Distance computations are the inner loop of topology recomputation under
+mobility, so they are fully vectorized (HPC guide: no Python loops on the
+hot path, broadcast instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_positions(positions: np.ndarray | list) -> np.ndarray:
+    """Coerce to a float64 ``(n, 2)`` array, validating the shape."""
+    arr = np.asarray(positions, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {arr.shape}")
+    return arr
+
+
+def distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two 2-D points."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` Euclidean distance matrix via broadcasting.
+
+    The direct ``hypot(dx, dy)`` form is used rather than the Gram-matrix
+    identity because the latter suffers catastrophic cancellation near the
+    diagonal (errors ~1e-7 m), which breaks exact-adjacency tests.  At the
+    scales of the paper's scenarios (n <= a few hundred) the (n, n, 2)
+    temporary is negligible.
+    """
+    pos = as_positions(positions)
+    delta = pos[:, None, :] - pos[None, :, :]
+    return np.hypot(delta[..., 0], delta[..., 1])
+
+
+def distances_from(positions: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Distances from every position to one ``point`` (vectorized)."""
+    pos = as_positions(positions)
+    delta = pos - np.asarray(point, dtype=np.float64)[None, :]
+    return np.hypot(delta[:, 0], delta[:, 1])
+
+
+def neighbors_within(positions: np.ndarray, radius: float) -> np.ndarray:
+    """Boolean ``(n, n)`` adjacency under the unit-disc model.
+
+    ``adj[i, j]`` is True iff ``0 < dist(i, j) <= radius`` (no self-loops).
+    """
+    d = pairwise_distances(positions)
+    adj = d <= radius
+    np.fill_diagonal(adj, False)
+    return adj

@@ -1,0 +1,255 @@
+"""The wireless network façade: hop-by-hop message delivery.
+
+:class:`WirelessNetwork` ties together a :class:`~repro.network.topology.Topology`,
+a :class:`~repro.network.radio.RadioModel`, per-node batteries and the
+shared simulator.  It delivers messages hop by hop with serialization
+delay, propagation latency, per-hop loss, and energy charged to both ends
+of each hop; routes are min-hop BFS paths computed against the topology
+*as it is when each hop starts*, so mobility and node death affect
+in-flight messages (the paper's "frequent disconnections and network
+topology changes").
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.simkernel import Simulator, Monitor
+from repro.network.energy import Battery, RadioEnergyModel
+from repro.network.message import DeliveryReceipt, Message
+from repro.network.radio import RadioModel
+from repro.network.topology import Topology
+
+
+class NetworkNode:
+    """One endpoint on the wireless network.
+
+    Attributes
+    ----------
+    node_id:
+        Index into the topology.
+    battery:
+        Energy reserve; radio activity draws from it.
+    receive:
+        Application callback ``(Message) -> None`` invoked on delivery;
+        settable after construction (agents attach themselves here).
+    """
+
+    __slots__ = ("node_id", "battery", "receive", "name")
+
+    def __init__(self, node_id: int, battery: Battery, name: str = "") -> None:
+        self.node_id = node_id
+        self.battery = battery
+        self.receive: typing.Callable[[Message], None] | None = None
+        self.name = name or f"node{node_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkNode({self.node_id}, {self.battery!r})"
+
+
+class WirelessNetwork:
+    """Event-driven multi-hop wireless network.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    topology:
+        Node positions / adjacency.
+    radio:
+        Link characteristics (bandwidth, latency, loss, range).  The
+        topology's range and the radio's range should agree; the topology
+        wins for connectivity, the radio drives timing/energy.
+    energy_model:
+        First-order radio energy model.
+    batteries:
+        Per-node batteries; nodes with depleted batteries are killed in
+        the topology and can no longer relay.
+    rng:
+        Random stream for loss draws.
+    monitor:
+        Instrumentation sink (counters: ``net.sent``, ``net.delivered``,
+        ``net.dropped``, ``net.hops``, ``net.energy_j``; series:
+        ``net.latency``).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        radio: RadioModel,
+        energy_model: RadioEnergyModel | None = None,
+        batteries: list[Battery] | None = None,
+        rng: np.random.Generator | None = None,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.radio = radio
+        self.energy_model = energy_model or RadioEnergyModel()
+        if batteries is None:
+            batteries = [Battery(float("inf")) for _ in range(topology.n_nodes)]
+        if len(batteries) != topology.n_nodes:
+            raise ValueError("need one battery per topology node")
+        self.nodes = [NetworkNode(i, batteries[i]) for i in range(topology.n_nodes)]
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.monitor = monitor or Monitor()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        message: Message,
+        on_complete: typing.Callable[[DeliveryReceipt], None] | None = None,
+    ) -> None:
+        """Route ``message`` from ``message.src`` to ``message.dst``.
+
+        Delivery is asynchronous: ``on_complete`` (if given) receives the
+        :class:`~repro.network.message.DeliveryReceipt` when the message
+        arrives or is dropped.  The destination node's ``receive`` hook is
+        invoked on successful delivery.
+        """
+        if message.dst is None:
+            raise ValueError("unicast send requires a destination; use broadcast_local")
+        self.monitor.counter("net.sent").add()
+        self._hop(message, message.src, 0.0, on_complete, start_time=self.sim.now)
+
+    def broadcast_local(self, src: int, message: Message) -> list[int]:
+        """Deliver ``message`` to every living neighbor of ``src`` at once.
+
+        Models a single radio broadcast: the sender pays one transmission
+        (at full range), each neighbor pays one reception.  Returns the
+        ids of neighbors that received it (loss drawn independently per
+        receiver).  Used by flooding/gossip.
+        """
+        if not self.topology.is_alive(src):
+            return []
+        neighbors = self.topology.neighbors(src)
+        tx = self.energy_model.tx_cost(message.size_bits, self.radio.range_m)
+        self._charge(src, tx)
+        self.monitor.counter("net.energy_j").add(tx)
+        delivered: list[int] = []
+        hop_time = self.radio.hop_time(message.size_bits)
+        for nbr in neighbors:
+            if self.radio.loss_prob and self.rng.random() < self.radio.loss_prob:
+                continue
+            rx = self.energy_model.rx_cost(message.size_bits)
+            self._charge(nbr, rx)
+            self.monitor.counter("net.energy_j").add(rx)
+            delivered.append(nbr)
+            self._deliver_later(nbr, message, hop_time)
+        return delivered
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _hop(
+        self,
+        message: Message,
+        current: int,
+        energy_so_far: float,
+        on_complete: typing.Callable[[DeliveryReceipt], None] | None,
+        start_time: float,
+    ) -> None:
+        dst = message.dst
+        assert dst is not None
+        if current == dst:
+            receipt = DeliveryReceipt(
+                delivered=True,
+                time=self.sim.now,
+                hops=message.hop_count,
+                energy_j=energy_so_far,
+            )
+            self.monitor.counter("net.delivered").add()
+            self.monitor.counter("net.hops").add(receipt.hops)
+            self.monitor.series("net.latency").record(self.sim.now, self.sim.now - start_time)
+            node = self.nodes[dst]
+            if node.receive is not None:
+                node.receive(message)
+            if on_complete is not None:
+                on_complete(receipt)
+            return
+
+        path = self.topology.shortest_path(current, dst)
+        if path is None or len(path) < 2:
+            self._drop(message, energy_so_far, on_complete, "no-route")
+            return
+        nxt = path[1]
+
+        dist = self.topology.distance(current, nxt)
+        tx = self.energy_model.tx_cost(message.size_bits, dist)
+        rx = self.energy_model.rx_cost(message.size_bits)
+        self._charge(current, tx)
+        self.monitor.counter("net.energy_j").add(tx)
+
+        if self.radio.loss_prob and self.rng.random() < self.radio.loss_prob:
+            self._drop(message, energy_so_far + tx, on_complete, "loss")
+            return
+
+        self._charge(nxt, rx)
+        self.monitor.counter("net.energy_j").add(rx)
+        message.hops.append(nxt)
+        delay = self.radio.hop_time(message.size_bits)
+        self.sim.schedule(
+            delay,
+            lambda: self._hop(message, nxt, energy_so_far + tx + rx, on_complete, start_time)
+            if self.topology.is_alive(nxt)
+            else self._drop(message, energy_so_far + tx + rx, on_complete, "dead-node"),
+            label=f"hop:{message.msg_id}",
+        )
+
+    def _drop(
+        self,
+        message: Message,
+        energy: float,
+        on_complete: typing.Callable[[DeliveryReceipt], None] | None,
+        reason: str,
+    ) -> None:
+        self.monitor.counter("net.dropped").add()
+        if on_complete is not None:
+            on_complete(
+                DeliveryReceipt(delivered=False, time=self.sim.now, hops=message.hop_count, energy_j=energy, reason=reason)
+            )
+
+    def _deliver_later(self, dst: int, message: Message, delay: float) -> None:
+        def deliver() -> None:
+            node = self.nodes[dst]
+            if self.topology.is_alive(dst) and node.receive is not None:
+                node.receive(message)
+
+        self.sim.schedule(delay, deliver, label=f"bcast:{message.msg_id}")
+
+    def _charge(self, node_id: int, joules: float) -> None:
+        battery = self.nodes[node_id].battery
+        alive = battery.draw(joules)
+        if not alive and self.topology.is_alive(node_id):
+            self.topology.kill(node_id)
+            self.monitor.counter("net.node_deaths").add()
+
+    # ------------------------------------------------------------------
+    # accounting helpers (used by cost estimators)
+    # ------------------------------------------------------------------
+    def unicast_time(self, src: int, dst: int, bits: float) -> float | None:
+        """Predicted delivery time along the current min-hop route.
+
+        Returns None when src/dst are partitioned.  Pure prediction: no
+        energy is charged, nothing is scheduled.
+        """
+        path = self.topology.shortest_path(src, dst)
+        if path is None:
+            return None
+        return (len(path) - 1) * self.radio.hop_time(bits)
+
+    def unicast_energy(self, src: int, dst: int, bits: float) -> float | None:
+        """Predicted total radio energy along the current min-hop route."""
+        path = self.topology.shortest_path(src, dst)
+        if path is None:
+            return None
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.energy_model.tx_cost(bits, self.topology.distance(a, b))
+            total += self.energy_model.rx_cost(bits)
+        return total

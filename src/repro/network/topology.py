@@ -1,0 +1,207 @@
+"""Connectivity graph over node positions.
+
+:class:`Topology` maintains the unit-disc adjacency over the current node
+positions and answers the graph queries the routing protocols need
+(neighbors, shortest paths, BFS trees, connectivity).  Adjacency is
+recomputed wholesale (a vectorized ``O(n^2)`` distance pass) whenever
+positions change or a node dies -- at the scales of the paper's scenarios
+(up to a few hundred nodes) this is far cheaper than incremental updates
+and trivially correct.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+import numpy as np
+
+from repro.network.geometry import as_positions, neighbors_within, distances_from
+
+
+class Topology:
+    """Dynamic unit-disc topology.
+
+    Parameters
+    ----------
+    positions:
+        Initial ``(n, 2)`` node positions in metres.
+    range_m:
+        Communication radius of the unit-disc model.
+    """
+
+    def __init__(self, positions: np.ndarray, range_m: float) -> None:
+        self._positions = as_positions(positions).copy()
+        if range_m <= 0:
+            raise ValueError("range_m must be positive")
+        self.range_m = float(range_m)
+        self._alive = np.ones(len(self._positions), dtype=bool)
+        self._adj: np.ndarray | None = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes ever placed (dead ones included)."""
+        return len(self._positions)
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every topology change."""
+        return self._version
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current positions (read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    def position_of(self, node: int) -> np.ndarray:
+        """Position of one node (copy)."""
+        return self._positions[node].copy()
+
+    def is_alive(self, node: int) -> bool:
+        """False once :meth:`kill` has been called for the node."""
+        return bool(self._alive[node])
+
+    def alive_nodes(self) -> list[int]:
+        """Ids of all living nodes."""
+        return [int(i) for i in np.flatnonzero(self._alive)]
+
+    def move(self, node: int, position: np.ndarray) -> None:
+        """Set one node's position (mobility models call this)."""
+        self._positions[node] = np.asarray(position, dtype=np.float64)
+        self._invalidate()
+
+    def move_all(self, positions: np.ndarray) -> None:
+        """Replace all positions at once (bulk mobility step)."""
+        pos = as_positions(positions)
+        if pos.shape != self._positions.shape:
+            raise ValueError("positions shape mismatch")
+        self._positions[:] = pos
+        self._invalidate()
+
+    def kill(self, node: int) -> None:
+        """Remove a node from the topology (battery death, destruction)."""
+        if self._alive[node]:
+            self._alive[node] = False
+            self._invalidate()
+
+    def revive(self, node: int) -> None:
+        """Bring a node back (used by disconnection churn models)."""
+        if not self._alive[node]:
+            self._alive[node] = True
+            self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._adj = None
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # adjacency & graph queries
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Boolean ``(n, n)`` adjacency; dead nodes have no edges."""
+        if self._adj is None:
+            adj = neighbors_within(self._positions, self.range_m)
+            adj &= self._alive[:, None]
+            adj &= self._alive[None, :]
+            self._adj = adj
+        return self._adj
+
+    def neighbors(self, node: int) -> list[int]:
+        """Living neighbors of ``node`` within radio range."""
+        return [int(i) for i in np.flatnonzero(self.adjacency[node])]
+
+    def degree(self, node: int) -> int:
+        """Number of living neighbors."""
+        return int(self.adjacency[node].sum())
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True iff a and b are alive and within range of each other."""
+        return bool(self.adjacency[a, b])
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes."""
+        delta = self._positions[a] - self._positions[b]
+        return float(np.hypot(delta[0], delta[1]))
+
+    def nearest_to(self, point: np.ndarray, alive_only: bool = True) -> int:
+        """Id of the node nearest to ``point``."""
+        dists = distances_from(self._positions, np.asarray(point, dtype=np.float64))
+        if alive_only:
+            dists = np.where(self._alive, dists, np.inf)
+        return int(np.argmin(dists))
+
+    def shortest_path(self, src: int, dst: int) -> list[int] | None:
+        """Min-hop path from src to dst via BFS, or None if partitioned."""
+        if src == dst:
+            return [src]
+        if not (self._alive[src] and self._alive[dst]):
+            return None
+        parent = self._bfs_parents(src, stop_at=dst)
+        if dst not in parent:
+            return None
+        path = [dst]
+        while path[-1] != src:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def hop_counts_from(self, root: int) -> dict[int, int]:
+        """BFS hop distance from ``root`` to every reachable living node."""
+        hops = {root: 0}
+        frontier = collections.deque([root])
+        adj = self.adjacency
+        while frontier:
+            u = frontier.popleft()
+            for v in np.flatnonzero(adj[u]):
+                v = int(v)
+                if v not in hops:
+                    hops[v] = hops[u] + 1
+                    frontier.append(v)
+        return hops
+
+    def bfs_tree(self, root: int) -> dict[int, int]:
+        """Parent map of a min-hop spanning tree rooted at ``root``.
+
+        The root maps to itself.  Unreachable nodes are absent.  Ties
+        between candidate parents are broken by lowest node id, making the
+        tree deterministic.
+        """
+        parent = self._bfs_parents(root)
+        parent[root] = root
+        return parent
+
+    def _bfs_parents(self, root: int, stop_at: int | None = None) -> dict[int, int]:
+        parent: dict[int, int] = {}
+        visited = {root}
+        frontier = collections.deque([root])
+        adj = self.adjacency
+        while frontier:
+            u = frontier.popleft()
+            for v in np.flatnonzero(adj[u]):
+                v = int(v)
+                if v not in visited:
+                    visited.add(v)
+                    parent[v] = u
+                    if v == stop_at:
+                        return parent
+                    frontier.append(v)
+        return parent
+
+    def is_connected(self, among: typing.Iterable[int] | None = None) -> bool:
+        """True iff all living nodes (or ``among``) are mutually reachable."""
+        nodes = list(among) if among is not None else self.alive_nodes()
+        if len(nodes) <= 1:
+            return True
+        reached = set(self.hop_counts_from(nodes[0]))
+        return all(n in reached for n in nodes)
+
+    def connected_component(self, node: int) -> set[int]:
+        """All living nodes reachable from ``node`` (including itself)."""
+        return set(self.hop_counts_from(node))

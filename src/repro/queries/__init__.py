@@ -1,0 +1,66 @@
+"""Sensor-network query processing (paper §4).
+
+The query format reproduced verbatim from the paper::
+
+    SELECT {func(), attrs} FROM sensors
+    WHERE { selPreds }
+    COST { cost limitation }
+    EPOCH DURATION i
+
+"The query format is similar to the one used by Madden et al. in TAG.
+However we allow for any arbitrary function to be specified in the SELECT
+clause.  We have also introduced the COST clause to specify the cost
+within which the function is to be evaluated.  Cost could be in terms of
+sensor energy, response time or accuracy of the result."
+
+* :mod:`~repro.queries.ast` -- query AST.
+* :mod:`~repro.queries.language` -- tokenizer + recursive-descent parser.
+* :mod:`~repro.queries.classifier` -- the paper's four query classes
+  (Simple / Aggregate / Complex / Continuous).
+* :mod:`~repro.queries.functions` -- decomposable (TAG-able) and holistic
+  aggregates, plus complex functions (the PDE distribution).
+* :mod:`~repro.queries.targets` -- WHERE-clause evaluation against a
+  deployment (sensor ids, rooms, positions).
+* :mod:`~repro.queries.models` -- the execution models the Decision
+  Maker chooses among.
+* :mod:`~repro.queries.executor` -- parse → classify → choose → execute,
+  with epoch-driven continuous queries.
+"""
+
+from repro.queries.ast import CostClause, Predicate, Query, SelectItem
+from repro.queries.language import parse_query, QuerySyntaxError
+from repro.queries.classifier import QueryClass, classify, base_class
+from repro.queries.functions import (
+    AGGREGATES,
+    DECOMPOSABLE,
+    HOLISTIC,
+    COMPLEX_FUNCTIONS,
+    PartialAggregate,
+    is_aggregate,
+    is_complex,
+)
+from repro.queries.targets import room_of, select_targets
+from repro.queries.executor import QueryExecutor, QueryOutcome
+
+__all__ = [
+    "CostClause",
+    "Predicate",
+    "Query",
+    "SelectItem",
+    "parse_query",
+    "QuerySyntaxError",
+    "QueryClass",
+    "classify",
+    "base_class",
+    "AGGREGATES",
+    "DECOMPOSABLE",
+    "HOLISTIC",
+    "COMPLEX_FUNCTIONS",
+    "PartialAggregate",
+    "is_aggregate",
+    "is_complex",
+    "room_of",
+    "select_targets",
+    "QueryExecutor",
+    "QueryOutcome",
+]

@@ -1,0 +1,50 @@
+"""The paper's four query classes.
+
+"To ease the process of making the various estimates described earlier,
+we have divided the possible queries into four different types":
+
+* **Simple** -- "targeted at a particular sensor", e.g.
+  ``SELECT value FROM sensors WHERE sensor_id = 10``.
+* **Aggregate** -- "involve aggregate functions like Max, Min, Avg, Sum".
+* **Complex** -- "involve performing computation over data from sensors",
+  e.g. the temperature distribution.
+* **Continuous/Windowed** -- "any query which is continuous in nature"
+  (an EPOCH clause).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.queries.ast import Query
+from repro.queries.functions import is_aggregate, is_complex
+
+
+class QueryClass(enum.Enum):
+    """The §4 query taxonomy."""
+
+    SIMPLE = "simple"
+    AGGREGATE = "aggregate"
+    COMPLEX = "complex"
+    CONTINUOUS = "continuous"
+
+
+def base_class(query: Query) -> QueryClass:
+    """The per-epoch class, ignoring continuity.
+
+    Any complex function makes the query COMPLEX (it dominates);
+    otherwise any aggregate makes it AGGREGATE; otherwise SIMPLE.
+    """
+    funcs = query.functions
+    if any(is_complex(f) for f in funcs):
+        return QueryClass.COMPLEX
+    if any(is_aggregate(f) for f in funcs):
+        return QueryClass.AGGREGATE
+    return QueryClass.SIMPLE
+
+
+def classify(query: Query) -> QueryClass:
+    """The paper's four-way classification (CONTINUOUS dominates)."""
+    if query.is_continuous:
+        return QueryClass.CONTINUOUS
+    return base_class(query)

@@ -1,0 +1,253 @@
+"""The Query Processor: parse → classify → decide → execute → learn.
+
+"Query processor analyzes the query and categorizes it into one of the
+types mentioned above.  Decision maker would decide the solution model to
+use ... The simulator simulates the solution model for the query and
+returns the results."
+
+Continuous queries re-run every EPOCH; the decision is re-taken each
+epoch against the *current* network state (nodes die, topology changes),
+and every epoch's measured outcome is fed back to the Decision Maker --
+the adaptivity loop the paper calls for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.queries.ast import Query
+from repro.queries.classifier import QueryClass, classify
+from repro.queries.functions import compute_aggregate, is_aggregate
+from repro.queries.language import parse_query
+from repro.queries.models.base import (
+    ModelOutcome,
+    QueryContext,
+    solve_distribution,
+    solve_distribution3d,
+)
+from repro.queries.targets import select_targets
+
+
+@dataclasses.dataclass
+class QueryOutcome:
+    """One evaluated query (or one epoch of a continuous query).
+
+    Attributes
+    ----------
+    success:
+        Whether an answer was produced.
+    value:
+        The answer (scalar, array, or field).
+    model:
+        The execution model used (empty when none was feasible).
+    query_class:
+        The paper's four-way class.
+    time_s / energy_j / data_bits:
+        Measured actuals.
+    rel_error:
+        Relative error vs noise-free ground truth (nan when no ground
+        truth applies).
+    epoch_index:
+        0 for one-shot queries; the epoch number otherwise.
+    """
+
+    success: bool
+    value: typing.Any
+    model: str
+    query_class: QueryClass
+    time_s: float
+    energy_j: float
+    data_bits: float
+    readings_used: int
+    rel_error: float
+    epoch_index: int = 0
+    error: str = ""
+
+
+class QueryExecutor:
+    """Runs queries end to end against one deployment/grid/decision-maker.
+
+    Parameters
+    ----------
+    ctx:
+        The query context (deployment + grid + rates).
+    decision_maker:
+        Any object with ``decide(query, ctx, targets)`` returning an
+        object carrying ``model``/``estimate``, and
+        ``feedback(query, ctx, targets, decision, energy, time)``
+        (duck-typed so :mod:`repro.core` stays an optional layer above).
+    max_epochs:
+        Safety cap on continuous-query epochs when no duration is given.
+    """
+
+    def __init__(self, ctx: QueryContext, decision_maker, max_epochs: int = 50) -> None:
+        self.ctx = ctx
+        self.decision_maker = decision_maker
+        self.max_epochs = max_epochs
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query | str,
+        on_complete: typing.Callable[[list[QueryOutcome]], None],
+        on_epoch: typing.Callable[[QueryOutcome], None] | None = None,
+    ) -> Query:
+        """Run ``query``; callback with the list of outcomes (1 per epoch).
+
+        One-shot queries produce exactly one outcome.  Continuous queries
+        produce one per epoch until ``duration_s`` (or ``max_epochs``)
+        elapses or no sensor remains reachable.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.submitted += 1
+        outcomes: list[QueryOutcome] = []
+
+        if not query.is_continuous:
+            self._run_once(query, 0, lambda o: (outcomes.append(o), on_complete(outcomes)))
+            return query
+
+        epoch_s = float(query.epoch_s or 1.0)
+        if query.duration_s is not None:
+            n_epochs = max(int(query.duration_s / epoch_s), 1)
+        else:
+            n_epochs = self.max_epochs
+        window: list[tuple[float, typing.Any]] = []  # (epoch time, raw value)
+
+        def run_epoch(i: int) -> None:
+            def done(outcome: QueryOutcome) -> None:
+                if query.window_s is not None and outcome.success:
+                    outcome = self._apply_window(query, outcome, window)
+                if on_epoch is not None:
+                    on_epoch(outcome)
+                outcomes.append(outcome)
+                if i + 1 >= n_epochs or not self.ctx.deployment.alive_sensor_ids():
+                    on_complete(outcomes)
+                else:
+                    # next epoch starts one EPOCH after this one *started*
+                    delay = max(epoch_start + epoch_s - self.ctx.sim.now, 0.0)
+                    self.ctx.sim.schedule(delay, lambda: run_epoch(i + 1), label="epoch")
+
+            epoch_start = self.ctx.sim.now
+            self._run_once(query, i, done)
+
+        run_epoch(0)
+        return query
+
+    # ------------------------------------------------------------------
+    def _run_once(
+        self,
+        query: Query,
+        epoch_index: int,
+        on_complete: typing.Callable[[QueryOutcome], None],
+    ) -> None:
+        qclass = classify(query)
+        targets = select_targets(self.ctx.deployment, query, self.ctx.rooms_per_side)
+        if not targets:
+            on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
+                                     float("nan"), epoch_index, "no targets"))
+            return
+        decision = self.decision_maker.decide(query, self.ctx, targets)
+        if decision is None:
+            on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
+                                     float("nan"), epoch_index, "no feasible model"))
+            return
+        truth = self._ground_truth(query, targets)
+
+        def model_done(m: ModelOutcome) -> None:
+            rel = self._relative_error(m.value, truth) if m.success else float("nan")
+            self.decision_maker.feedback(
+                query, self.ctx, targets, decision, m.energy_j, m.time_s
+            )
+            on_complete(QueryOutcome(
+                success=m.success,
+                value=m.value,
+                model=m.model,
+                query_class=qclass,
+                time_s=m.time_s,
+                energy_j=m.energy_j,
+                data_bits=m.data_bits,
+                readings_used=m.readings_used,
+                rel_error=rel,
+                epoch_index=epoch_index,
+                error=m.error,
+            ))
+
+        decision.model.execute(query, self.ctx, targets, model_done)
+
+    # ------------------------------------------------------------------
+    def _apply_window(
+        self,
+        query: Query,
+        outcome: QueryOutcome,
+        window: list[tuple[float, typing.Any]],
+    ) -> QueryOutcome:
+        """Re-aggregate the trailing window's epoch values (Windowed class).
+
+        The window is quantized to whole epochs (``round(window/epoch)``
+        most recent values), which keeps its contents deterministic under
+        execution-latency jitter.  Scalar single-function queries
+        re-aggregate with the matching combiner: MAX→max, MIN→min,
+        SUM/COUNT→sum over the window, everything else (AVG, STD, MEDIAN,
+        bare attributes) smooths by the mean of epoch values.  Non-scalar
+        values pass through.
+        """
+        if not isinstance(outcome.value, (int, float)):
+            return outcome
+        window.append((self.ctx.sim.now, float(outcome.value)))
+        n_keep = max(int(round(float(query.window_s) / float(query.epoch_s))), 1)
+        del window[:-n_keep]
+        values = np.array([v for _, v in window])
+
+        func = query.select[0].func if len(query.select) == 1 else None
+        if func in ("MAX",):
+            windowed = float(values.max())
+        elif func in ("MIN",):
+            windowed = float(values.min())
+        elif func in ("SUM", "COUNT"):
+            windowed = float(values.sum())
+        else:
+            windowed = float(values.mean())
+        return dataclasses.replace(outcome, value=windowed,
+                                   rel_error=float("nan"))
+
+    # ------------------------------------------------------------------
+    def _ground_truth(self, query: Query, targets: list[int]) -> typing.Any:
+        """Noise-free answer computed from the true field (free of charge)."""
+        dep = self.ctx.deployment
+        true_vals = dep.true_values()
+        values = np.array([true_vals[t] for t in targets])
+        positions = np.array([dep.topology.position_of(t) for t in targets])
+        if len(query.select) != 1:
+            return None
+        item = query.select[0]
+        if item.func is None:
+            return float(values[0]) if len(values) == 1 else values
+        if is_aggregate(item.func):
+            return compute_aggregate(item.func, values)
+        if item.func == "DISTRIBUTION":
+            return solve_distribution(self.ctx, positions, values)
+        if item.func == "DISTRIBUTION3D":
+            return solve_distribution3d(self.ctx, positions, values)
+        return None
+
+    @staticmethod
+    def _relative_error(value: typing.Any, truth: typing.Any) -> float:
+        """Relative error of scalar or field answers (nan if undefined)."""
+        if truth is None or value is None:
+            return float("nan")
+        try:
+            v = np.asarray(value, dtype=float)
+            t = np.asarray(truth, dtype=float)
+        except (TypeError, ValueError):
+            return float("nan")
+        if v.shape != t.shape:
+            return float("nan")
+        denom = float(np.linalg.norm(t.ravel()))
+        if denom < 1e-12:
+            return float(np.linalg.norm(v.ravel() - t.ravel()))
+        return float(np.linalg.norm(v.ravel() - t.ravel()) / denom)

@@ -1,0 +1,228 @@
+"""Tokenizer and recursive-descent parser for the §4 query language.
+
+Grammar (case-insensitive keywords)::
+
+    query    := SELECT items FROM "sensors"
+                [ WHERE pred (AND pred)* ]
+                [ COST metric cmp number ]
+                [ EPOCH DURATION number [ FOR number ] [ WINDOW number ] ]
+    items    := item ("," item)*           -- optional surrounding { }
+    item     := IDENT "(" IDENT? ")" | IDENT
+    pred     := IDENT op literal           -- optional surrounding { }
+    op       := "=" | "!=" | "<" | "<=" | ">" | ">="
+    literal  := number | quoted string | true | false | IDENT
+
+``COST`` accepts ``COST energy <= 0.5`` and the bare form
+``COST { energy 0.5 }`` (treated as <=, the paper's "cost limitation").
+A bare function call like ``AVG()`` defaults its attribute to ``value``.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+from repro.queries.ast import CostClause, Predicate, Query, SelectItem
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed query text, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>-?\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[{}(),])
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9.#-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise QuerySyntaxError(f"unexpected character {text[pos]!r} at position {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, m.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    # ------------------------------------------------------------------
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError(f"unexpected end of query: {self.text!r}")
+        self.i += 1
+        return tok
+
+    def expect_keyword(self, word: str) -> None:
+        kind, value = self.next()
+        if kind != "ident" or value.upper() != word.upper():
+            raise QuerySyntaxError(f"expected {word!r}, got {value!r}")
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "ident" and tok[1].upper() in {w.upper() for w in words}
+
+    def eat_punct(self, ch: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[0] == "punct" and tok[1] == ch:
+            self.i += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        self.expect_keyword("SELECT")
+        select = self._select_items()
+        self.expect_keyword("FROM")
+        kind, value = self.next()
+        if kind != "ident" or value.lower() != "sensors":
+            raise QuerySyntaxError(f"only 'FROM sensors' is supported, got {value!r}")
+
+        where: tuple[Predicate, ...] = ()
+        cost: CostClause | None = None
+        epoch: float | None = None
+        duration: float | None = None
+        window: float | None = None
+        while self.peek() is not None:
+            if self.at_keyword("WHERE"):
+                self.next()
+                where = self._predicates()
+            elif self.at_keyword("COST"):
+                self.next()
+                cost = self._cost_clause()
+            elif self.at_keyword("EPOCH"):
+                self.next()
+                self.expect_keyword("DURATION")
+                epoch = self._number()
+                if self.at_keyword("FOR"):
+                    self.next()
+                    duration = self._number()
+                if self.at_keyword("WINDOW"):
+                    self.next()
+                    window = self._number()
+            else:
+                kind, value = self.next()
+                raise QuerySyntaxError(f"unexpected token {value!r}")
+        try:
+            return Query(select=select, where=where, cost=cost, epoch_s=epoch,
+                         duration_s=duration, window_s=window, raw=self.text)
+        except ValueError as exc:
+            raise QuerySyntaxError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    def _select_items(self) -> tuple[SelectItem, ...]:
+        braced = self.eat_punct("{")
+        items = [self._select_item()]
+        while self.eat_punct(","):
+            items.append(self._select_item())
+        if braced and not self.eat_punct("}"):
+            raise QuerySyntaxError("expected '}' closing SELECT items")
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        kind, value = self.next()
+        if kind != "ident":
+            raise QuerySyntaxError(f"expected attribute or function, got {value!r}")
+        if self.eat_punct("("):
+            attr = "value"
+            tok = self.peek()
+            if tok is not None and tok[0] == "ident":
+                attr = self.next()[1]
+            if not self.eat_punct(")"):
+                raise QuerySyntaxError(f"expected ')' after {value!r}(")
+            return SelectItem(attr=attr, func=value.upper())
+        return SelectItem(attr=value)
+
+    def _predicates(self) -> tuple[Predicate, ...]:
+        braced = self.eat_punct("{")
+        preds = [self._predicate()]
+        while self.at_keyword("AND"):
+            self.next()
+            preds.append(self._predicate())
+        if braced and not self.eat_punct("}"):
+            raise QuerySyntaxError("expected '}' closing WHERE clause")
+        return tuple(preds)
+
+    def _predicate(self) -> Predicate:
+        kind, attr = self.next()
+        if kind != "ident":
+            raise QuerySyntaxError(f"expected attribute in predicate, got {attr!r}")
+        kind, op = self.next()
+        if kind != "op":
+            raise QuerySyntaxError(f"expected comparison operator, got {op!r}")
+        return Predicate(attribute=attr, op=op, value=self._literal())
+
+    def _cost_clause(self) -> CostClause:
+        braced = self.eat_punct("{")
+        kind, metric = self.next()
+        if kind != "ident":
+            raise QuerySyntaxError(f"expected COST metric, got {metric!r}")
+        tok = self.peek()
+        if tok is not None and tok[0] == "op":
+            op = self.next()[1]
+            if op not in ("<=", "<", "="):
+                raise QuerySyntaxError(f"COST supports upper bounds only, got {op!r}")
+        limit = self._number()
+        if braced and not self.eat_punct("}"):
+            raise QuerySyntaxError("expected '}' closing COST clause")
+        try:
+            return CostClause(metric=metric.lower(), limit=limit)
+        except ValueError as exc:
+            raise QuerySyntaxError(str(exc)) from exc
+
+    def _number(self) -> float:
+        kind, value = self.next()
+        if kind != "number":
+            raise QuerySyntaxError(f"expected number, got {value!r}")
+        return float(value)
+
+    def _literal(self) -> typing.Any:
+        kind, value = self.next()
+        if kind == "number":
+            f = float(value)
+            return int(f) if f.is_integer() and "." not in value and "e" not in value.lower() else f
+        if kind == "string":
+            return value[1:-1]
+        if kind == "ident":
+            low = value.lower()
+            if low == "true":
+                return True
+            if low == "false":
+                return False
+            return value
+        raise QuerySyntaxError(f"expected literal, got {value!r}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse query ``text`` into a :class:`~repro.queries.ast.Query`.
+
+    Raises :class:`QuerySyntaxError` on malformed input.
+    """
+    parser = _Parser(text)
+    try:
+        return parser.parse()
+    except ValueError as exc:
+        if isinstance(exc, QuerySyntaxError):
+            raise
+        raise QuerySyntaxError(str(exc)) from exc

@@ -1,0 +1,299 @@
+"""Message-level (event-driven) convergecast, for cost-model validation.
+
+The execution models cost collections *analytically* (exact for lossless
+radios) and run at per-epoch granularity -- fast enough for thousand-epoch
+lifetime sweeps.  This module provides the high-fidelity alternative: a
+TAG convergecast where every partial-state record is an actual
+:class:`~repro.network.message.Message` through the
+:class:`~repro.network.network.WirelessNetwork`, with real per-hop
+delays, loss draws and battery charges.
+
+Its purpose is *validation*: ``tests/queries/test_event_driven_validation.py``
+asserts that the analytic :func:`~repro.queries.models.collection.aggregated_collection`
+and :func:`~repro.queries.models.collection.raw_collection` agree with
+this implementation exactly (energy) / exactly (latency, aggregated) on
+lossless radios -- the evidence that the fast path used by every
+experiment is faithful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.network.message import Message
+from repro.network.routing.tree import AggregationTree
+from repro.queries.models.collection import induced_nodes
+from repro.sensors.deployment import SensorDeployment
+
+
+@dataclasses.dataclass
+class CollectionReport:
+    """Outcome of one event-driven convergecast round.
+
+    Attributes
+    ----------
+    completed:
+        True when the root heard from every expected child.
+    latency_s:
+        Time from start until the root's last reception.
+    energy_j:
+        Total battery energy drawn during the round (radio only).
+    messages:
+        Point-to-point transmissions attempted.
+    delivered:
+        Transmissions that arrived.
+    """
+
+    completed: bool
+    latency_s: float
+    energy_j: float
+    messages: int
+    delivered: int
+
+
+class EventDrivenTreeCollection:
+    """One TAG round as real messages.
+
+    Each induced non-root node sends exactly one ``bits`` partial to its
+    tree parent, but only after every one of its induced children's
+    partials arrived (leaves send immediately) -- TAG's level-by-level
+    epoch schedule, emergent rather than scheduled.
+    """
+
+    def __init__(self, deployment: SensorDeployment) -> None:
+        self.deployment = deployment
+
+    def run(
+        self,
+        targets: list[int],
+        bits: float,
+        on_complete: typing.Callable[[CollectionReport], None],
+        aggregated: bool = True,
+    ) -> None:
+        """Start the round; ``on_complete`` fires when the root is done.
+
+        ``aggregated=False`` runs the raw variant: nodes forward every
+        reading in their subtree as separate messages instead of one
+        merged partial.
+        """
+        dep = self.deployment
+        sim = dep.sim
+        tree = AggregationTree(dep.topology, dep.base_station_id)
+        nodes = induced_nodes(tree, targets)
+        target_set = {t for t in targets if t in tree.parent}
+        root = tree.root
+
+        start_time = sim.now
+        energy_before = sum(n.battery.consumed for n in dep.network.nodes)
+        stats = {"messages": 0, "delivered": 0, "last_rx": sim.now}
+
+        # how many payload units each node originates / expects
+        children = {n: [c for c in tree.children.get(n, []) if c in nodes] for n in nodes}
+        own = {n: (1 if n in target_set else 0) for n in nodes}
+        received_units: dict[int, int] = {n: 0 for n in nodes}
+        expected_units = {
+            n: own[n] + sum(self._subtree_units(c, children, own) for c in children[n])
+            for n in nodes
+        }
+        root_expected = sum(
+            self._subtree_units(c, children, own) for c in children.get(root, [])
+        )
+        done = {"fired": False}
+
+        def finish_if_root_done() -> None:
+            if done["fired"]:
+                return
+            if received_units.get(root, 0) >= root_expected:
+                done["fired"] = True
+                energy_after = sum(n.battery.consumed for n in dep.network.nodes)
+                on_complete(CollectionReport(
+                    completed=True,
+                    latency_s=stats["last_rx"] - start_time,
+                    energy_j=energy_after - energy_before,
+                    messages=stats["messages"],
+                    delivered=stats["delivered"],
+                ))
+
+        def send_up(node: int, units: int) -> None:
+            parent = tree.parent[node]
+            n_msgs = 1 if aggregated else units
+            payload_units = units
+            for i in range(n_msgs):
+                msg = Message(src=node, dst=parent, size_bits=bits, kind="partial",
+                              payload=payload_units if aggregated else 1)
+                stats["messages"] += 1
+
+                def on_receipt(receipt, parent=parent, units_in=(payload_units if aggregated else 1)):
+                    if not receipt.delivered:
+                        return
+                    stats["delivered"] += 1
+                    stats["last_rx"] = max(stats["last_rx"], receipt.time)
+                    received_units[parent] = received_units.get(parent, 0) + units_in
+                    if parent == root:
+                        finish_if_root_done()
+                        return
+                    pending_done = received_units[parent] >= expected_units[parent] - own[parent]
+                    if pending_done and parent not in started:
+                        started.add(parent)
+                        send_up(parent, expected_units[parent])
+
+                dep.network.send(msg, on_receipt)
+
+        started: set[int] = set()
+        if root_expected == 0:
+            sim.schedule(0.0, finish_if_root_done)
+            # root with nothing to hear: complete immediately
+            received_units[root] = 0
+            done_now = CollectionReport(True, 0.0, 0.0, 0, 0)
+            done["fired"] = True
+            on_complete(done_now)
+            return
+        # leaves (no induced children) start immediately
+        for node in sorted(nodes):
+            if node != root and not children[node]:
+                started.add(node)
+                send_up(node, expected_units[node])
+
+    @staticmethod
+    def _subtree_units(node: int, children: dict[int, list[int]], own: dict[int, int]) -> int:
+        total = own[node]
+        for c in children[node]:
+            total += EventDrivenTreeCollection._subtree_units(c, children, own)
+        return total
+
+
+@dataclasses.dataclass
+class SnoopingReport:
+    """Outcome of one snooping-MAX round.
+
+    Attributes
+    ----------
+    value:
+        The MAX the root computed.
+    messages / suppressed:
+        Broadcasts sent vs suppressed by overhearing.
+    energy_j:
+        Total battery energy drawn.
+    latency_s:
+        Slotted-schedule duration.
+    """
+
+    value: float
+    messages: int
+    suppressed: int
+    energy_j: float
+    latency_s: float
+
+
+class SnoopingMaxCollection:
+    """TAG's channel-sharing optimization, for MAX queries.
+
+    "They also suggest further optimizations like channel sharing which
+    result in further saving of sensor energy." (§4, citing TAG)
+
+    Partials are radio *broadcasts* on a slotted level schedule (deepest
+    level first).  Because MAX is monotone, a node that overhears any
+    partial >= its own subtree maximum knows its value cannot affect the
+    answer and suppresses its transmission entirely -- the neighbours'
+    shared channel does the aggregation for free.  ``snoop=False`` runs
+    the identical broadcast schedule without suppression, isolating the
+    optimization's effect.
+    """
+
+    def __init__(self, deployment: SensorDeployment) -> None:
+        self.deployment = deployment
+
+    def run(
+        self,
+        values: dict[int, float],
+        bits: float,
+        on_complete: typing.Callable[[SnoopingReport], None],
+        snoop: bool = True,
+        slot_factor: float = 1.5,
+    ) -> None:
+        """Collect ``max(values.values())`` to the base station.
+
+        ``values`` maps target sensor ids to their readings (already
+        sampled; sampling cost is the caller's).
+        """
+        dep = self.deployment
+        sim = dep.sim
+        tree = AggregationTree(dep.topology, dep.base_station_id)
+        targets = [t for t in values if t in tree.parent]
+        nodes = induced_nodes(tree, targets)
+        root = tree.root
+        if not targets:
+            on_complete(SnoopingReport(float("-inf"), 0, 0, 0.0, 0.0))
+            return
+
+        slot_s = dep.radio.hop_time(bits) * slot_factor
+        max_depth = max(tree.depth_of[n] for n in nodes)
+        energy_before = sum(n.battery.consumed for n in dep.network.nodes)
+
+        # mutable per-node state
+        best = {n: values.get(n, float("-inf")) for n in nodes}
+        overheard = {n: float("-inf") for n in nodes}
+        stats = {"messages": 0, "suppressed": 0}
+
+        # wire receive hooks for every node involved (parents record into
+        # best; everyone records into overheard)
+        node_set = set(nodes)
+
+        def make_receiver(me: int):
+            def receive(message) -> None:
+                payload = message.payload
+                sender = message.src
+                if tree.parent.get(sender) == me:
+                    best[me] = max(best[me], payload)
+                else:
+                    overheard[me] = max(overheard[me], payload)
+
+            return receive
+
+        saved_hooks = {}
+        for n in node_set | {root}:
+            saved_hooks[n] = dep.network.nodes[n].receive
+            dep.network.nodes[n].receive = make_receiver(n)
+
+        def send_for(node: int) -> None:
+            if node == root:
+                return
+            if snoop and overheard[node] >= best[node] and best[node] != float("-inf"):
+                stats["suppressed"] += 1
+                return
+            if best[node] == float("-inf"):
+                return  # pure relay with nothing heard: nothing to say
+            from repro.network.message import Message as _Message
+
+            stats["messages"] += 1
+            dep.network.broadcast_local(
+                node, _Message(src=node, dst=None, size_bits=bits,
+                               kind="snoop-partial", payload=best[node])
+            )
+
+        # slotted schedule: depth max_depth fires in slot 0, ... depth 1 in
+        # slot max_depth-1; small per-node jitter inside the slot orders
+        # siblings deterministically so suppression can actually trigger
+        for node in sorted(nodes):
+            if node == root:
+                continue
+            d = tree.depth_of[node]
+            slot_index = max_depth - d
+            jitter = (node % 16) * (slot_s / 32.0)
+            sim.schedule(slot_index * slot_s + jitter, lambda n=node: send_for(n),
+                         label=f"snoop-slot:{node}")
+
+        def finish() -> None:
+            for n, hook in saved_hooks.items():
+                dep.network.nodes[n].receive = hook
+            energy_after = sum(nd.battery.consumed for nd in dep.network.nodes)
+            on_complete(SnoopingReport(
+                value=best[root],
+                messages=stats["messages"],
+                suppressed=stats["suppressed"],
+                energy_j=energy_after - energy_before,
+                latency_s=(max_depth + 1) * slot_s,
+            ))
+
+        sim.schedule((max_depth + 1) * slot_s, finish, label="snoop-finish")

@@ -1,0 +1,124 @@
+"""The grid plan: ship the data out, compute on the wired grid.
+
+"Most importantly, the grid can be used to perform the computation.  The
+data would be transferred to the grid through the base station.  The
+computation would be done in the grid and results would be returned to
+the base station."  The only plan that makes complex (PDE) queries
+interactive -- and the most data-hungry one.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.grid.job import ComputeJob
+from repro.queries.ast import Query
+from repro.queries.functions import COMPLEX_FUNCTIONS
+from repro.queries.models import collection
+from repro.queries.models.base import (
+    CostEstimate,
+    ExecutionModel,
+    ModelOutcome,
+    QueryContext,
+    QUERY_BITS,
+    READING_BITS,
+    RESULT_BITS,
+)
+
+
+class GridOffloadModel(ExecutionModel):
+    """Raw collection to the base, uplink to the grid, compute, download."""
+
+    name = "grid"
+    contention_coeff = 0.8  # same raw convergecast as the centralized plan
+
+    def supports(self, query: Query, ctx: QueryContext) -> bool:
+        """Everything -- while the uplink is up (disconnected operation
+        is exactly when the Decision Maker must keep computation local)."""
+        return ctx.grid.online
+
+    def _result_bits(self, query: Query, ctx: QueryContext) -> float:
+        bits = 0.0
+        for item in query.select:
+            if item.func and item.func in COMPLEX_FUNCTIONS:
+                per_point = COMPLEX_FUNCTIONS[item.func]["output_bits_per_point"]
+                if item.func == "DISTRIBUTION":
+                    n_points = ctx.grid_resolution**2
+                elif item.func == "DISTRIBUTION3D":
+                    n_points = ctx.grid_resolution**2 * max(ctx.grid_resolution // 4, 4)
+                else:
+                    n_points = 10
+                bits += per_point * n_points
+            else:
+                bits += RESULT_BITS
+        return bits
+
+    def _pieces(self, query: Query, ctx: QueryContext, targets: list[int]):
+        flood = self._flood_cost(query, ctx)
+        collect = collection.raw_collection(ctx.deployment, targets, READING_BITS)
+        n = max(len(collect.participating) - 1, 0)
+        ops = self.compute_ops(query, ctx, n)
+        result_bits = self._result_bits(query, ctx)
+        job = ComputeJob(ops=ops, input_bits=collect.bits_total, output_bits=result_bits)
+        offload_s = ctx.grid.estimate_offload_time(job)
+        result_s = ctx.deployment.radio.hop_time(RESULT_BITS)
+        return flood, collect, ops, job, offload_s, result_s
+
+    def estimate(self, query: Query, ctx: QueryContext, targets: list[int]) -> CostEstimate:
+        if not targets:
+            return CostEstimate.INFEASIBLE
+        flood, collect, ops, job, offload_s, result_s = self._pieces(query, ctx, targets)
+        if len(collect.participating) <= 1:
+            return CostEstimate.INFEASIBLE
+        return CostEstimate(
+            energy_j=flood.energy_j + collect.energy_j,  # uplink is mains-powered
+            time_s=flood.latency_s + collect.latency_s + offload_s + result_s,
+            data_bits=collect.bits_total + QUERY_BITS + job.input_bits + job.output_bits,
+            ops=ops,
+        )
+
+    def execute(
+        self,
+        query: Query,
+        ctx: QueryContext,
+        targets: list[int],
+        on_complete: typing.Callable[[ModelOutcome], None],
+    ) -> None:
+        est = self.estimate(query, ctx, targets)
+        if not est.feasible:
+            on_complete(ModelOutcome(False, None, self.name, 0.0, 0.0, 0.0, 0, "no reachable targets"))
+            return
+        flood, collect, ops, job, offload_s, result_s = self._pieces(query, ctx, targets)
+        time_factor, energy_factor = self._actual_factors(
+            ctx, collect.messages + flood.messages,
+            collection.mean_target_depth(ctx.deployment, targets),
+        )
+        self._charge(ctx, flood.per_node_energy + collect.per_node_energy, energy_factor)
+        ctx.mark_disseminated(query)
+        readings = self.filter_readings(
+            query, self._sample_targets(ctx, [t for t in targets if t in collect.participating])
+        )
+        wireless_s = (flood.latency_s + collect.latency_s) * time_factor
+        actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+
+        if not readings:
+            ctx.sim.schedule(
+                wireless_s,
+                lambda: on_complete(ModelOutcome(False, None, self.name, wireless_s,
+                                                 actual_energy, est.data_bits, 0, "no readings")),
+                label=f"exec:{self.name}",
+            )
+            return
+
+        def start_offload() -> None:
+            job.compute = lambda: self.compute_answer(query, ctx, readings)
+            started_at = ctx.sim.now
+
+            def grid_done(result) -> None:
+                total_s = wireless_s + (ctx.sim.now - started_at) + result_s
+                on_complete(ModelOutcome(True, result.value, self.name, total_s,
+                                         actual_energy, est.data_bits, len(readings)))
+
+            ctx.grid.offload(job, grid_done)
+
+        ctx.sim.schedule(wireless_s, start_offload, label=f"exec:{self.name}")

@@ -1,0 +1,92 @@
+"""The handheld plan: compute on the fire fighter's device.
+
+"The data is delivered to the base station/PDA, which perform the
+computation."  Attractive when disconnected from the grid and the
+computation is light; hopeless for the PDE (a handheld is ~5 orders of
+magnitude slower than the grid).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.queries.ast import Query
+from repro.queries.models import collection
+from repro.queries.models.base import (
+    CostEstimate,
+    ExecutionModel,
+    ModelOutcome,
+    QueryContext,
+    QUERY_BITS,
+    READING_BITS,
+    RESULT_BITS,
+)
+
+
+class HandheldModel(ExecutionModel):
+    """Raw collection to the base, forward to the handheld, compute there."""
+
+    name = "handheld"
+    contention_coeff = 0.8
+
+    def supports(self, query: Query, ctx: QueryContext) -> bool:
+        """All queries -- but the estimate exposes the compute penalty."""
+        return ctx.deployment.n_handhelds > 0
+
+    def _pieces(self, query: Query, ctx: QueryContext, targets: list[int]):
+        flood = self._flood_cost(query, ctx)
+        collect = collection.raw_collection(ctx.deployment, targets, READING_BITS)
+        n = max(len(collect.participating) - 1, 0)
+        # forward all readings base -> handheld (one wireless hop)
+        forward_s = ctx.deployment.radio.hop_time(collect.bits_total) if n else 0.0
+        ops = self.compute_ops(query, ctx, n)
+        compute_s = ops / ctx.handheld_rate
+        return flood, collect, ops, forward_s, compute_s
+
+    def estimate(self, query: Query, ctx: QueryContext, targets: list[int]) -> CostEstimate:
+        if not targets or not self.supports(query, ctx):
+            return CostEstimate.INFEASIBLE
+        flood, collect, ops, forward_s, compute_s = self._pieces(query, ctx, targets)
+        if len(collect.participating) <= 1:
+            return CostEstimate.INFEASIBLE
+        return CostEstimate(
+            energy_j=flood.energy_j + collect.energy_j,  # handheld is rechargeable
+            time_s=flood.latency_s + collect.latency_s + forward_s + compute_s,
+            data_bits=collect.bits_total * 2 + QUERY_BITS,
+            ops=ops,
+        )
+
+    def execute(
+        self,
+        query: Query,
+        ctx: QueryContext,
+        targets: list[int],
+        on_complete: typing.Callable[[ModelOutcome], None],
+    ) -> None:
+        est = self.estimate(query, ctx, targets)
+        if not est.feasible:
+            on_complete(ModelOutcome(False, None, self.name, 0.0, 0.0, 0.0, 0, "no handheld or targets"))
+            return
+        flood, collect, ops, forward_s, compute_s = self._pieces(query, ctx, targets)
+        time_factor, energy_factor = self._actual_factors(
+            ctx, collect.messages + flood.messages,
+            collection.mean_target_depth(ctx.deployment, targets),
+        )
+        self._charge(ctx, flood.per_node_energy + collect.per_node_energy, energy_factor)
+        ctx.mark_disseminated(query)
+        readings = self.filter_readings(
+            query, self._sample_targets(ctx, [t for t in targets if t in collect.participating])
+        )
+        total_s = (flood.latency_s + collect.latency_s + forward_s) * time_factor + compute_s
+        actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+
+        def finish() -> None:
+            if not readings:
+                on_complete(ModelOutcome(False, None, self.name, total_s,
+                                         actual_energy, est.data_bits, 0, "no readings"))
+                return
+            value = self.compute_answer(query, ctx, readings)
+            on_complete(ModelOutcome(True, value, self.name, total_s,
+                                     actual_energy, est.data_bits, len(readings)))
+
+        ctx.sim.schedule(total_s, finish, label=f"exec:{self.name}")

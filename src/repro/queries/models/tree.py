@@ -1,0 +1,111 @@
+"""The TAG plan: in-network aggregation over an aggregation tree.
+
+"Another way to perform in-network aggregation is to use aggregation
+trees.  Data would be routed and aggregated through the aggregation
+trees."  Only *decomposable* aggregates (and simple lookups, which are a
+one-path special case) can run this way -- the restriction TAG itself has
+and the reason the Decision Maker exists at all.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.queries.ast import Query
+from repro.queries.classifier import QueryClass, base_class
+from repro.queries.functions import DECOMPOSABLE, is_decomposable
+from repro.queries.models import collection
+from repro.queries.models.base import (
+    CostEstimate,
+    ExecutionModel,
+    ModelOutcome,
+    QueryContext,
+    QUERY_BITS,
+    RESULT_BITS,
+)
+
+
+class InNetworkTreeModel(ExecutionModel):
+    """Aggregated convergecast: one partial-state record per tree node.
+
+    Energy scales with node count (not reading count squared) and the
+    root never congests -- the cheapest plan whenever it applies.
+    """
+
+    name = "tree"
+    contention_coeff = 0.15
+
+    def supports(self, query: Query, ctx: QueryContext) -> bool:
+        """Simple lookups and decomposable aggregates only."""
+        cls = base_class(query)
+        if cls is QueryClass.SIMPLE:
+            return True
+        if cls is QueryClass.AGGREGATE:
+            return all(is_decomposable(f) for f in query.functions)
+        return False
+
+    def _partial_bits(self, query: Query) -> float:
+        """Wire size of the merged partial-state record for this query."""
+        bits = 0.0
+        for f in query.functions:
+            bits += DECOMPOSABLE[f.upper()].state_size_bits
+        return bits or 64.0  # simple query: one reading-sized record
+
+    def _pieces(self, query: Query, ctx: QueryContext, targets: list[int]):
+        flood = self._flood_cost(query, ctx)
+        collect = collection.aggregated_collection(
+            ctx.deployment, targets, self._partial_bits(query)
+        )
+        result_s = ctx.deployment.radio.hop_time(RESULT_BITS)
+        # finalize at the base: trivial
+        return flood, collect, result_s
+
+    def estimate(self, query: Query, ctx: QueryContext, targets: list[int]) -> CostEstimate:
+        if not targets or not self.supports(query, ctx):
+            return CostEstimate.INFEASIBLE
+        flood, collect, result_s = self._pieces(query, ctx, targets)
+        if len(collect.participating) <= 1:
+            return CostEstimate.INFEASIBLE
+        return CostEstimate(
+            energy_j=flood.energy_j + collect.energy_j,
+            time_s=flood.latency_s + collect.latency_s + result_s,
+            data_bits=collect.bits_total + QUERY_BITS,
+            ops=10.0 * collect.messages,
+        )
+
+    def execute(
+        self,
+        query: Query,
+        ctx: QueryContext,
+        targets: list[int],
+        on_complete: typing.Callable[[ModelOutcome], None],
+    ) -> None:
+        est = self.estimate(query, ctx, targets)
+        if not est.feasible:
+            on_complete(ModelOutcome(False, None, self.name, 0.0, 0.0, 0.0, 0, "unsupported or unreachable"))
+            return
+        flood, collect, result_s = self._pieces(query, ctx, targets)
+        time_factor, energy_factor = self._actual_factors(
+            ctx, collect.messages + flood.messages,
+            collection.mean_target_depth(ctx.deployment, targets),
+        )
+        self._charge(ctx, flood.per_node_energy + collect.per_node_energy, energy_factor)
+        ctx.mark_disseminated(query)
+        readings = self._sample_targets(
+            ctx, [t for t in targets if t in collect.participating]
+        )
+        readings = self.filter_readings(query, readings)
+        total_s = (flood.latency_s + collect.latency_s) * time_factor + result_s
+        actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+
+        def finish() -> None:
+            if not readings:
+                on_complete(ModelOutcome(False, None, self.name, total_s,
+                                         actual_energy, est.data_bits, 0, "no readings"))
+                return
+            # in-network merging produces exactly the aggregate value
+            value = self.compute_answer(query, ctx, readings)
+            on_complete(ModelOutcome(True, value, self.name, total_s,
+                                     actual_energy, est.data_bits, len(readings)))
+
+        ctx.sim.schedule(total_s, finish, label=f"exec:{self.name}")

@@ -1,0 +1,86 @@
+"""Terminal-friendly rendering of fields and tables.
+
+Examples and benchmarks print their results; these helpers keep that
+output readable without any plotting dependency (the repo is offline).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+#: Characters from cold to hot.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    field: np.ndarray,
+    width: int = 40,
+    height: int = 20,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D field as an ASCII heat map.
+
+    The field is resampled (nearest neighbour) to ``width x height``
+    characters; intensity maps linearly onto a 10-step character ramp.
+    Row 0 of the output is the *top* (max y), matching how a floor plan
+    is read.
+
+    Parameters
+    ----------
+    field:
+        ``(nx, ny)`` array (x = horizontal axis).
+    width, height:
+        Output size in characters.
+    vmin, vmax:
+        Color scale bounds (default: the field's min/max).
+    """
+    arr = np.asarray(field, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("field must be 2-D")
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+    lo = float(np.nanmin(arr)) if vmin is None else float(vmin)
+    hi = float(np.nanmax(arr)) if vmax is None else float(vmax)
+    span = hi - lo if hi > lo else 1.0
+
+    nx, ny = arr.shape
+    xs = np.linspace(0, nx - 1, width).round().astype(int)
+    ys = np.linspace(ny - 1, 0, height).round().astype(int)  # top row = max y
+    lines = []
+    for j in ys:
+        row = arr[xs, j]
+        levels = np.clip(((row - lo) / span) * (len(_RAMP) - 1), 0, len(_RAMP) - 1)
+        lines.append("".join(_RAMP[int(l)] for l in levels))
+    return "\n".join(lines)
+
+
+def format_table(headers: typing.Sequence[str], rows: typing.Sequence[typing.Sequence],
+                 width: int = 14) -> str:
+    """A plain fixed-width table (the benchmarks' format, reusable)."""
+    fmt = "{:>" + str(width) + "}"
+
+    def cell(v: typing.Any) -> str:
+        if isinstance(v, float):
+            return fmt.format(f"{v:.4g}")
+        return fmt.format(str(v))
+
+    out = ["".join(fmt.format(str(h)) for h in headers)]
+    out.append("-" * (width * len(headers)))
+    for row in rows:
+        out.append("".join(cell(v) for v in row))
+    return "\n".join(out)
+
+
+def sparkline(values: typing.Sequence[float]) -> str:
+    """A one-line unicode sparkline (time series at a glance)."""
+    blocks = "▁▂▃▄▅▆▇█"
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    lo, hi = float(np.nanmin(arr)), float(np.nanmax(arr))
+    span = hi - lo if hi > lo else 1.0
+    idx = np.clip(((arr - lo) / span) * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(i)] for i in idx)

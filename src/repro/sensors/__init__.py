@@ -1,0 +1,38 @@
+"""Sensor network substrate.
+
+Simulates the paper's Figure-1 deployment: sensors embedded in an
+environment sampling a physical field, a base station bridging to the
+wired grid, and handheld devices posing queries.
+
+* :mod:`~repro.sensors.field` -- synthetic physical phenomena (building
+  fires, toxin plumes) standing in for the real sensors the paper assumes.
+* :mod:`~repro.sensors.node` -- sensor nodes with batteries and noisy
+  sampling.
+* :mod:`~repro.sensors.deployment` -- :class:`SensorDeployment`, the
+  façade that wires sensors + base station + handhelds into one
+  :class:`~repro.network.network.WirelessNetwork` over one topology.
+"""
+
+from repro.sensors.field import (
+    ScalarField,
+    UniformField,
+    HotspotField,
+    FireField,
+    PlumeField,
+)
+from repro.sensors.node import SensorNode, Reading
+from repro.sensors.deployment import SensorDeployment
+from repro.sensors.streaming import SensorStreamAgent, StreamCollectorAgent
+
+__all__ = [
+    "SensorStreamAgent",
+    "StreamCollectorAgent",
+    "ScalarField",
+    "UniformField",
+    "HotspotField",
+    "FireField",
+    "PlumeField",
+    "SensorNode",
+    "Reading",
+    "SensorDeployment",
+]

@@ -1,0 +1,96 @@
+"""Events and event handles for the DES kernel.
+
+An :class:`Event` is a callback scheduled at a virtual time.  Events are
+totally ordered by ``(time, priority, seq)``: ties in time are broken by an
+explicit priority (lower runs first) and then by insertion order, which is
+what makes simulation runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+#: Priority for events that must run before ordinary events at the same time
+#: (e.g. topology updates that must precede message deliveries).
+PRIORITY_HIGH = 0
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 10
+#: Priority for bookkeeping that must observe all normal events at a time.
+PRIORITY_LOW = 20
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created by :meth:`repro.simkernel.simulator.Simulator.schedule`
+    rather than directly.  The dataclass ordering (``time``, ``priority``,
+    ``seq``) defines the execution order inside the event heap.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the callback fires.
+    priority:
+        Tie-break among events at the same time; lower fires first.
+    seq:
+        Global insertion sequence number; final tie-break, guaranteeing
+        FIFO order for equal (time, priority).
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Set via :class:`EventHandle.cancel`; cancelled events are skipped
+        (lazy deletion -- cheaper than heap surgery).
+    label:
+        Optional human-readable tag used by tracing.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: typing.Callable[[], None] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+    label: str = dataclasses.field(default="", compare=False)
+
+
+class EventHandle:
+    """Caller-facing handle to a scheduled event.
+
+    Allows cancellation and introspection without exposing the heap entry
+    mutably.  Handles are cheap; the kernel returns one per ``schedule``.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will fire (or would have)."""
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        """The label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` was called before the event fired."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Idempotent.  Cancelling an event that already fired has no effect
+        (the kernel clears the callback after firing, so there is nothing
+        left to suppress).
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6g}, {state}, label={self.label!r})"

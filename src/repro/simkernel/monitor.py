@@ -1,0 +1,125 @@
+"""Statistics collection for simulation runs.
+
+:class:`Monitor` aggregates named :class:`Counter` and :class:`TimeSeries`
+instruments.  Instruments are cheap to record into (append / integer add)
+and reduce to summary statistics only on demand, so instrumentation does
+not distort timing-sensitive benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Counter:
+    """A monotonically accumulating scalar (messages sent, joules spent)."""
+
+    name: str
+    value: float = 0.0
+    increments: int = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Accumulate ``amount`` (may be fractional, must be finite)."""
+        self.value += amount
+        self.increments += 1
+
+    def reset(self) -> None:
+        """Zero the counter (used between benchmark repetitions)."""
+        self.value = 0.0
+        self.increments = 0
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples.
+
+    Provides summary reductions used throughout the experiment harness.
+    Samples are buffered in Python lists and converted to numpy arrays
+    lazily (HPC guide: vectorize reductions, keep the recording path
+    allocation-free in the common case).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample."""
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float64 array (copy)."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float64 array (copy)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        """Arithmetic mean of values (nan when empty)."""
+        return float(np.mean(self._values)) if self._values else math.nan
+
+    def total(self) -> float:
+        """Sum of values (0 when empty)."""
+        return float(np.sum(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        """Maximum value (nan when empty)."""
+        return float(np.max(self._values)) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of values (nan when empty)."""
+        return float(np.percentile(self._values, q)) if self._values else math.nan
+
+    def last(self) -> float:
+        """Most recent value (nan when empty)."""
+        return self._values[-1] if self._values else math.nan
+
+
+class Monitor:
+    """A registry of named instruments for one simulation run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter called ``name``."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def series(self, name: str) -> TimeSeries:
+        """Get or create the time series called ``name``."""
+        series = self._series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self._series[name] = series
+        return series
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of all counter values."""
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def summary(self) -> dict[str, typing.Any]:
+        """A flat summary dict (counters + per-series mean/total/max)."""
+        out: dict[str, typing.Any] = dict(self.counters())
+        for name, series in sorted(self._series.items()):
+            if len(series):
+                out[f"{name}.mean"] = series.mean()
+                out[f"{name}.total"] = series.total()
+                out[f"{name}.max"] = series.max()
+        return out

@@ -1,0 +1,215 @@
+"""Generator-based cooperative processes on top of the event loop.
+
+Protocol logic (agent behaviours, routing rounds, query epochs) reads much
+more naturally as sequential code than as hand-written callback chains.
+:class:`Process` wraps a generator; the generator *yields* small command
+objects and the kernel resumes it when the command completes:
+
+``yield Delay(dt)``
+    Sleep for ``dt`` virtual time units.
+
+``yield waiter`` (a :class:`Waiter`)
+    Block until someone calls :meth:`Waiter.trigger`; the value passed to
+    ``trigger`` becomes the result of the ``yield`` expression.
+
+``yield other_process``
+    Block until the other process terminates; its return value becomes the
+    result of the ``yield``.
+
+Processes may be interrupted with :meth:`Process.interrupt`, which raises
+:class:`Interrupt` inside the generator at its current suspension point --
+this is how we model node failure and disconnection tearing down in-flight
+protocol activity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.simkernel.simulator import SimulationError, Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class Delay:
+    """Yield command: suspend the process for ``duration`` time units."""
+
+    duration: float
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt` (e.g. the failure reason).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waiter:
+    """A one-shot condition a process can block on.
+
+    A ``Waiter`` is triggered at most once.  Multiple processes may wait on
+    the same ``Waiter``; all are resumed with the same value, in the order
+    they began waiting.
+    """
+
+    __slots__ = ("_sim", "_triggered", "_value", "_callbacks")
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._triggered = False
+        self._value: object = None
+        self._callbacks: list[typing.Callable[[object], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`trigger` has been called."""
+        return self._triggered
+
+    @property
+    def value(self) -> object:
+        """The value passed to :meth:`trigger` (None before triggering)."""
+        return self._value
+
+    def trigger(self, value: object = None) -> None:
+        """Fire the waiter, resuming all waiting processes *now*.
+
+        Resumptions are scheduled as zero-delay events so that they run
+        after the currently executing callback completes, preserving
+        run-to-completion semantics.
+        """
+        if self._triggered:
+            raise SimulationError("Waiter triggered twice")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._sim.schedule(0.0, lambda cb=cb: cb(value), label="waiter-resume")
+
+    def _subscribe(self, callback: typing.Callable[[object], None]) -> None:
+        if self._triggered:
+            self._sim.schedule(0.0, lambda: callback(self._value), label="waiter-late")
+        else:
+            self._callbacks.append(callback)
+
+
+ProcessGenerator = typing.Generator[typing.Union[Delay, "Waiter", "Process"], object, object]
+
+
+class Process:
+    """A cooperative process driven by the simulator.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    generator:
+        The generator implementing the process body.
+    name:
+        Optional label used in repr/tracing.
+
+    Notes
+    -----
+    The process starts on the *next* zero-delay event after construction,
+    not synchronously, so that constructing processes inside other
+    callbacks cannot reorder events.
+    """
+
+    def __init__(self, sim: Simulator, generator: ProcessGenerator, name: str = "") -> None:
+        self._sim = sim
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._alive = True
+        self._result: object = None
+        self._done_waiter = Waiter(sim)
+        self._pending_handle = sim.schedule(0.0, lambda: self._resume(None), label=f"start:{self.name}")
+        self._interrupt_pending: Interrupt | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """True until the generator returns or raises."""
+        return self._alive
+
+    @property
+    def result(self) -> object:
+        """The generator's return value (None until it finishes)."""
+        return self._result
+
+    @property
+    def done(self) -> Waiter:
+        """A waiter triggered with the result when the process finishes."""
+        return self._done_waiter
+
+    def interrupt(self, cause: object = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        Interrupting a dead process is a no-op (the usual race when a node
+        dies while its protocol step was already completing).
+        """
+        if not self._alive:
+            return
+        if self._pending_handle is not None:
+            self._pending_handle.cancel()
+            self._pending_handle = None
+        exc = Interrupt(cause)
+        self._pending_handle = self._sim.schedule(
+            0.0, lambda: self._resume_throw(exc), label=f"interrupt:{self.name}"
+        )
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: object) -> None:
+        if not self._alive:
+            return
+        self._pending_handle = None
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _resume_throw(self, exc: Interrupt) -> None:
+        if not self._alive:
+            return
+        self._pending_handle = None
+        try:
+            command = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            self._finish(None)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: object) -> None:
+        if isinstance(command, Delay):
+            self._pending_handle = self._sim.schedule(
+                command.duration, lambda: self._resume(None), label=f"delay:{self.name}"
+            )
+        elif isinstance(command, Waiter):
+            command._subscribe(self._resume)
+        elif isinstance(command, Process):
+            command.done._subscribe(self._resume)
+        else:
+            self._alive = False
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, result: object) -> None:
+        self._alive = False
+        self._result = result
+        self._done_waiter.trigger(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"

@@ -1,0 +1,172 @@
+"""The deterministic event loop.
+
+:class:`Simulator` owns the virtual clock and the event heap.  All
+substrates (network, sensors, grid, agents) schedule work through one
+shared ``Simulator`` so cross-subsystem causality is consistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import typing
+
+from repro.simkernel.event import Event, EventHandle, PRIORITY_NORMAL
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a finished sim)."""
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual time (default ``0.0``).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: typing.Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        ``delay`` must be finite and non-negative; zero delays are allowed
+        and fire in FIFO order after currently-executing events at the same
+        time and priority.
+        """
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(f"delay must be finite and >= 0, got {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: typing.Callable[[], None],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual ``time`` (>= now)."""
+        if not math.isfinite(time) or time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} (now={self._now!r}); time must be finite and >= now"
+            )
+        event = Event(time=float(time), priority=priority, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns ``True`` if an event was executed, ``False`` if the heap is
+        empty (simulation exhausted).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_executed += 1
+            callback, event.callback = event.callback, _already_fired
+            callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event's time exceeds ``until`` and
+            advance the clock to exactly ``until``.  If omitted, run until
+            the heap is empty.
+        max_events:
+            Safety valve: stop after executing this many events.
+
+        The loop also stops early if :meth:`stop` is called from inside an
+        event callback.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    return
+                # Peek: skip cancelled events without advancing the clock.
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = float(until)
+                    return
+                self.step()
+                executed += 1
+            if until is not None and not self._stopped and self._now < until:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run` return after this event."""
+        self._stopped = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.6g}, pending={self.pending}, executed={self._events_executed})"
+
+
+def _already_fired() -> None:  # pragma: no cover - defensive
+    raise SimulationError("event callback invoked twice")

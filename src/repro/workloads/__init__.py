@@ -1,0 +1,28 @@
+"""Workload and scenario generators for experiments and examples.
+
+* :mod:`~repro.workloads.queries` -- random query workloads over the four
+  §4 classes with controllable mixes.
+* :mod:`~repro.workloads.services` -- random service populations over the
+  default ontology (for discovery/composition experiments).
+* :mod:`~repro.workloads.scenarios` -- the paper's three motivating
+  scenarios as ready-to-run builders: the burning building (Figure 1),
+  health/toxin monitoring, and defense situation awareness.
+"""
+
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.services import ServicePopulation
+from repro.workloads.scenarios import (
+    fire_scenario,
+    health_scenario,
+    defense_scenario,
+    intrusion_scenario,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "ServicePopulation",
+    "fire_scenario",
+    "health_scenario",
+    "defense_scenario",
+    "intrusion_scenario",
+]

@@ -1,0 +1,88 @@
+"""Unit tests for ACL messages, envelopes and attributes."""
+
+import pytest
+
+from repro.agents import (
+    ACLMessage,
+    AgentAttributes,
+    AgentRole,
+    DomainAttributes,
+    Envelope,
+    Performative,
+)
+
+
+class TestACLMessage:
+    def test_reply_swaps_endpoints_and_links(self):
+        msg = ACLMessage(Performative.REQUEST, sender="a", receiver="b", content="ping")
+        rep = msg.reply(Performative.INFORM, "pong")
+        assert rep.sender == "b" and rep.receiver == "a"
+        assert rep.in_reply_to == msg.conversation_id
+        assert rep.content == "pong"
+        assert rep.conversation_id != msg.conversation_id
+
+    def test_conversation_ids_unique(self):
+        a = ACLMessage(Performative.INFORM, "a", "b")
+        b = ACLMessage(Performative.INFORM, "a", "b")
+        assert a.conversation_id != b.conversation_id
+
+    def test_all_performatives_distinct(self):
+        values = [p.value for p in Performative]
+        assert len(values) == len(set(values))
+
+
+class TestEnvelope:
+    def test_carries_content_type_and_ontology(self):
+        env = Envelope("a", "b", content={"x": 1}, content_type="soap", ontology="fire-response")
+        assert env.content_type == "soap"
+        assert env.ontology == "fire-response"
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope("a", "b", None, size_bits=-1.0)
+
+    def test_transcoded_scales_size_only(self):
+        env = Envelope("a", "b", content="big", size_bits=1000.0)
+        small = env.transcoded(0.25)
+        assert small.size_bits == pytest.approx(250.0)
+        assert small.content == "big"
+        assert env.size_bits == 1000.0  # original untouched
+        assert small.envelope_id != env.envelope_id
+
+    def test_transcoded_validates_factor(self):
+        env = Envelope("a", "b", None)
+        with pytest.raises(ValueError):
+            env.transcoded(0.0)
+        with pytest.raises(ValueError):
+            env.transcoded(1.5)
+
+
+class TestAttributes:
+    def test_roles(self):
+        attrs = AgentAttributes.of(AgentRole.BROKER, AgentRole.FACILITATOR)
+        assert attrs.has_role(AgentRole.BROKER)
+        assert not attrs.has_role(AgentRole.CLIENT)
+
+    def test_frozen(self):
+        attrs = AgentAttributes.of(AgentRole.CLIENT)
+        with pytest.raises(Exception):
+            attrs.mobile = True
+
+    def test_domain_attributes_mapping(self):
+        d = DomainAttributes(service="printer", queue_length=3)
+        assert d.get("service") == "printer"
+        assert d.get("missing", "dflt") == "dflt"
+        assert "queue_length" in d
+        assert d.keys() == ["queue_length", "service"]
+        d.set("color", True)
+        assert d.get("color") is True
+
+    def test_domain_attributes_equality(self):
+        assert DomainAttributes(a=1) == DomainAttributes(a=1)
+        assert DomainAttributes(a=1) != DomainAttributes(a=2)
+
+    def test_as_dict_is_copy(self):
+        d = DomainAttributes(a=1)
+        copy = d.as_dict()
+        copy["a"] = 99
+        assert d.get("a") == 1

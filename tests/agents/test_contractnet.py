@@ -1,0 +1,172 @@
+"""Tests for Contract-Net negotiation with performance commitments."""
+
+import pytest
+
+from repro.agents import AgentPlatform
+from repro.agents.contractnet import (
+    Award,
+    CallForProposals,
+    ContractNetContractor,
+    ContractNetInitiator,
+    Proposal,
+)
+from repro.simkernel import Simulator
+
+
+def make_world():
+    sim = Simulator()
+    platform = AgentPlatform(sim)
+    initiator = ContractNetInitiator("boss", sim)
+    platform.register(initiator)
+    return sim, platform, initiator
+
+
+def add_contractor(platform, sim, name, price=1.0, time=1.0, can=True,
+                   overrun=1.0, result="done"):
+    c = ContractNetContractor(
+        name, sim,
+        capability=lambda task: can,
+        price_fn=lambda task: price,
+        time_fn=lambda task: time,
+        executor=lambda task: result,
+        overrun_factor=overrun,
+    )
+    platform.register(c)
+    return c
+
+
+class TestBasicProtocol:
+    def test_single_contractor_wins_and_delivers(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "alice", price=2.0, time=1.0)
+        awards = []
+        boss.negotiate(["alice"], {"kind": "job"}, awards.append)
+        sim.run()
+        (a,) = awards
+        assert a.winner == "alice"
+        assert a.completed and a.on_time
+        assert a.result == "done"
+        assert a.proposals_received == 1
+
+    def test_cheapest_quickest_wins(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "pricey", price=5.0, time=1.0)
+        add_contractor(platform, sim, "cheap", price=1.0, time=1.0)
+        add_contractor(platform, sim, "slow", price=1.0, time=5.0)
+        awards = []
+        boss.negotiate(["pricey", "cheap", "slow"], {}, awards.append)
+        sim.run()
+        assert awards[0].winner == "cheap"
+        assert awards[0].proposals_received == 3
+
+    def test_incapable_contractor_declines(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "no", can=False)
+        add_contractor(platform, sim, "yes")
+        awards = []
+        boss.negotiate(["no", "yes"], {}, awards.append)
+        sim.run()
+        assert awards[0].winner == "yes"
+        assert awards[0].proposals_received == 1
+
+    def test_over_reserve_price_declines(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "expensive", price=100.0)
+        awards = []
+        boss.negotiate(["expensive"], {}, awards.append, max_price=10.0)
+        sim.run()
+        assert awards[0].winner is None
+        assert not awards[0].completed
+
+    def test_over_deadline_declines(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "slow", time=100.0)
+        awards = []
+        boss.negotiate(["slow"], {}, awards.append, deadline_s=10.0)
+        sim.run()
+        assert awards[0].winner is None
+
+    def test_no_contractors_rejected(self):
+        sim, platform, boss = make_world()
+        with pytest.raises(ValueError):
+            boss.negotiate([], {}, lambda a: None)
+
+    def test_losers_get_reject(self):
+        sim, platform, boss = make_world()
+        w = add_contractor(platform, sim, "winner", price=1.0)
+        l = add_contractor(platform, sim, "loser", price=2.0)
+        boss.negotiate(["winner", "loser"], {}, lambda a: None)
+        sim.run()
+        assert w.awards_won == 1
+        assert l.awards_won == 0
+        assert l.bids_made == 1
+
+    def test_bad_cfp_payload_failure(self):
+        sim, platform, boss = make_world()
+        c = add_contractor(platform, sim, "c")
+        from repro.agents import Performative
+
+        boss.ask("c", Performative.CFP, "garbage")
+        sim.run()  # no crash; contractor replied FAILURE (unhandled by boss)
+
+
+class TestCommitments:
+    def test_overrun_detected_as_late(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "liar", time=1.0, overrun=2.0)
+        awards = []
+        boss.negotiate(["liar"], {}, awards.append)
+        sim.run()
+        (a,) = awards
+        assert a.completed
+        assert not a.on_time
+        assert boss.reputation["liar"] < 1.0
+
+    def test_never_delivering_contractor_times_out(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "ghost", time=1.0, overrun=100.0)
+        awards = []
+        boss.negotiate(["ghost"], {}, awards.append)
+        sim.run(until=60.0)
+        (a,) = awards
+        assert not a.completed
+        assert boss.reputation["ghost"] < 1.0
+
+    def test_reputation_shifts_future_awards(self):
+        """A commitment-breaker must underbid to win again."""
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "flaky", price=1.0, time=1.0, overrun=3.0)
+        add_contractor(platform, sim, "steady", price=1.4, time=1.0)
+        awards = []
+        boss.negotiate(["flaky", "steady"], {}, awards.append)
+        sim.run()
+        assert awards[0].winner == "flaky"  # cheapest wins round 1
+        boss.negotiate(["flaky", "steady"], {}, awards.append)
+        sim.run()
+        assert awards[1].winner == "steady"  # reputation flipped the award
+
+    def test_reputation_recovers_with_good_behaviour(self):
+        sim, platform, boss = make_world()
+        boss.reputation["x"] = 0.2
+        boss._update_reputation("x", True)
+        assert boss.reputation["x"] > 0.2
+
+    def test_on_time_delivery_keeps_reputation(self):
+        sim, platform, boss = make_world()
+        add_contractor(platform, sim, "good", time=2.0)
+        awards = []
+        boss.negotiate(["good"], {}, awards.append)
+        sim.run()
+        assert boss.reputation["good"] == pytest.approx(1.0)
+
+
+class TestDataclasses:
+    def test_payload_shapes(self):
+        cfp = CallForProposals("c1", {"k": 1}, 5.0, 2.0)
+        p = Proposal("c1", "a", 1.0, 1.0)
+        a = Award("c1", "a", p, 1)
+        assert a.result is None and not a.completed
+
+    def test_invalid_overrun(self):
+        with pytest.raises(ValueError):
+            ContractNetContractor("c", Simulator(), overrun_factor=0.0)

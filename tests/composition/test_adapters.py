@@ -1,0 +1,152 @@
+"""Tests for paradigm adapters (mediating interfaces)."""
+
+import pytest
+
+from repro.agents import Agent, Performative
+from repro.composition import TaskGraph, TaskSpec
+from repro.composition.adapters import (
+    MailboxServiceAgent,
+    ParadigmAdapter,
+    RPCServiceAgent,
+)
+from repro.discovery import ServiceDescription
+
+
+def add_rpc_service(env, backend_name, adapter_name, category, func, method="run"):
+    rpc = RPCServiceAgent(backend_name, env.sim, methods={method: func})
+    env.platform.register(rpc)
+    adapter = ParadigmAdapter(adapter_name, backend_name, "rpc", method=method)
+    env.platform.register(adapter)
+    desc = ServiceDescription(name=f"svc-{adapter_name}", category=category)
+    desc.provider = adapter_name
+    env.registry.advertise(desc)
+    return rpc, adapter
+
+
+def add_msg_service(env, backend_name, adapter_name, category, func):
+    mbx = MailboxServiceAgent(backend_name, env.sim, func=func)
+    env.platform.register(mbx)
+    adapter = ParadigmAdapter(adapter_name, backend_name, "msg")
+    env.platform.register(adapter)
+    desc = ServiceDescription(name=f"svc-{adapter_name}", category=category)
+    desc.provider = adapter_name
+    env.registry.advertise(desc)
+    return mbx, adapter
+
+
+def two_task_graph():
+    g = TaskGraph()
+    g.add_task(TaskSpec("learn", "DecisionTreeService"))
+    g.add_task(TaskSpec("combine", "EnsembleCombinerService"))
+    g.add_edge("learn", "combine")
+    return g
+
+
+class TestForeignEndpoints:
+    def test_rpc_endpoint_answers_rpc(self, env_factory):
+        env = env_factory()
+        rpc = RPCServiceAgent("calc", env.sim, methods={"double": lambda a: a * 2})
+        env.platform.register(rpc)
+        client = Agent("client")
+        client.replies = []
+        client.on_raw(client.replies.append)
+        env.platform.register(client)
+        client.send("calc", {"call_id": 7, "method": "double", "args": 21},
+                    content_type="rpc")
+        env.sim.run()
+        assert client.replies[0].content == {"call_id": 7, "return": 42}
+        assert rpc.calls == 1
+
+    def test_rpc_unknown_method_faults(self, env_factory):
+        env = env_factory()
+        rpc = RPCServiceAgent("calc", env.sim, methods={})
+        env.platform.register(rpc)
+        client = Agent("client")
+        client.replies = []
+        client.on_raw(client.replies.append)
+        env.platform.register(client)
+        client.send("calc", {"call_id": 1, "method": "nope", "args": None},
+                    content_type="rpc")
+        env.sim.run()
+        assert "fault" in client.replies[0].content
+
+    def test_rpc_ignores_acl(self, env_factory):
+        env = env_factory()
+        rpc = RPCServiceAgent("calc", env.sim, methods={"run": lambda a: a})
+        env.platform.register(rpc)
+        client = Agent("client")
+        env.platform.register(client)
+        client.ask("calc", Performative.REQUEST, {"kind": "invoke"})
+        env.sim.run()
+        assert rpc.calls == 0  # the point: no adapter, no composition
+
+    def test_mailbox_endpoint(self, env_factory):
+        env = env_factory()
+        mbx = MailboxServiceAgent("box", env.sim, func=lambda p: p + 1)
+        env.platform.register(mbx)
+        client = Agent("client")
+        client.replies = []
+        client.on_raw(client.replies.append)
+        env.platform.register(client)
+        client.send("box", {"payload": 41, "reply_to": "client"}, content_type="msg")
+        env.sim.run()
+        assert client.replies[0].content == {"payload": 42}
+
+    def test_validation(self, env_factory):
+        env = env_factory()
+        with pytest.raises(ValueError):
+            ParadigmAdapter("a", "b", "carrier-pigeon")
+        with pytest.raises(ValueError):
+            RPCServiceAgent("r", env.sim, {}, service_time_s=-1.0)
+
+
+@pytest.mark.parametrize("mode", ["centralized", "distributed"])
+class TestAdaptedComposition:
+    def test_mixed_paradigm_graph_executes(self, env_factory, mode):
+        """Native + RPC-adapted + msg-adapted services in one composition."""
+        env = env_factory(mode=mode)
+        env.add_provider("native", "FourierSpectrumService")
+        add_rpc_service(env, "legacy-soap", "rpc-miner", "DecisionTreeService",
+                        func=lambda args: {"tree": "from-rpc", "saw": sorted(args["inputs"])})
+        add_msg_service(env, "legacy-mq", "mq-combiner", "EnsembleCombinerService",
+                        func=lambda payload: {"combined": True})
+        g = TaskGraph()
+        g.add_task(TaskSpec("learn", "DecisionTreeService"))
+        g.add_task(TaskSpec("spectrum", "FourierSpectrumService"))
+        g.add_task(TaskSpec("combine", "EnsembleCombinerService"))
+        g.add_edge("learn", "spectrum")
+        g.add_edge("spectrum", "combine")
+        results = []
+        env.manager.execute(g, results.append)
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert r.outputs["combine"] == {"combined": True}
+
+    def test_rpc_result_payload_threads_through(self, env_factory, mode):
+        env = env_factory(mode=mode)
+        add_rpc_service(env, "soap-a", "rpc-a", "DecisionTreeService",
+                        func=lambda args: "tree-payload")
+        add_rpc_service(env, "soap-b", "rpc-b", "EnsembleCombinerService",
+                        func=lambda args: args["inputs"])
+        results = []
+        env.manager.execute(two_task_graph(), results.append)
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        # the combiner saw the learn task's output by name
+        assert r.outputs["combine"] == {"learn": "tree-payload"}
+
+    def test_silent_backend_times_out(self, env_factory, mode):
+        env = env_factory(mode=mode, timeout_s=5.0, max_retries=0)
+        # adapter points at a backend that is never registered
+        adapter = ParadigmAdapter("rpc-ghost", "missing-backend", "rpc")
+        env.platform.register(adapter)
+        desc = ServiceDescription(name="svc-ghost", category="DecisionTreeService")
+        desc.provider = "rpc-ghost"
+        env.registry.advertise(desc)
+        env.add_provider("comb", "EnsembleCombinerService")
+        results = []
+        env.manager.execute(two_task_graph(), results.append)
+        env.sim.run()
+        assert not results[0].success

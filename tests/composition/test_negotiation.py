@@ -1,0 +1,139 @@
+"""Tests for negotiated binding (Contract-Net over service providers)."""
+
+import pytest
+
+from repro.agents.contractnet import ContractNetInitiator
+from repro.composition import NegotiatedBinder, TaskGraph, TaskSpec
+
+
+def make_binder(env, **kw):
+    initiator = ContractNetInitiator("negotiator", env.sim)
+    env.platform.register(initiator)
+    return NegotiatedBinder(initiator, env.registry, **kw)
+
+
+def simple_graph():
+    g = TaskGraph()
+    g.add_task(TaskSpec("learn", "DecisionTreeService"))
+    g.add_task(TaskSpec("combine", "EnsembleCombinerService"))
+    g.add_edge("learn", "combine")
+    return g
+
+
+class TestNegotiatedBindTask:
+    def test_binds_to_a_bidder(self, env_factory):
+        env = env_factory()
+        env.add_stream_mining_providers()
+        binder = make_binder(env)
+        got = []
+        binder.bind_task(TaskSpec("learn", "DecisionTreeService"), got.append)
+        env.sim.run()
+        (binding,) = got
+        assert binding is not None
+        assert binding.provider in ("dt1", "dt2")
+        assert binder.negotiated == 1
+
+    def test_cheapest_bidder_wins(self, env_factory):
+        env = env_factory()
+        env.add_provider("pricey", "DecisionTreeService", price=9.0)
+        env.add_provider("bargain", "DecisionTreeService", price=1.0)
+        binder = make_binder(env)
+        got = []
+        binder.bind_task(TaskSpec("learn", "DecisionTreeService"), got.append)
+        env.sim.run()
+        assert got[0].provider == "bargain"
+
+    def test_no_candidates_none(self, env_factory):
+        env = env_factory()
+        binder = make_binder(env)
+        got = []
+        binder.bind_task(TaskSpec("solve", "PDESolverService"), got.append)
+        env.sim.run()
+        assert got == [None]
+
+    def test_over_reserve_price_fails(self, env_factory):
+        env = env_factory()
+        env.add_provider("pricey", "DecisionTreeService", price=50.0)
+        binder = make_binder(env, max_price=10.0)
+        got = []
+        binder.bind_task(TaskSpec("learn", "DecisionTreeService"), got.append)
+        env.sim.run()
+        assert got == [None]
+
+
+class TestNegotiatedBindGraph:
+    def test_binds_whole_graph(self, env_factory):
+        env = env_factory()
+        env.add_stream_mining_providers()
+        binder = make_binder(env)
+        got = []
+        binder.bind_graph(simple_graph(), got.append)
+        env.sim.run()
+        (bindings,) = got
+        assert set(bindings) == {"learn", "combine"}
+
+    def test_one_unbindable_task_fails_all(self, env_factory):
+        env = env_factory()
+        env.add_provider("dt", "DecisionTreeService")
+        # no EnsembleCombinerService anywhere
+        binder = make_binder(env)
+        got = []
+        binder.bind_graph(simple_graph(), got.append)
+        env.sim.run()
+        assert got == [None]
+
+    def test_empty_graph(self, env_factory):
+        env = env_factory()
+        binder = make_binder(env)
+        got = []
+        binder.bind_graph(TaskGraph(), got.append)
+        env.sim.run()
+        assert got == [{}]
+
+    def test_negotiated_bindings_executable(self, env_factory):
+        """The negotiated bindings drive a normal manager execution."""
+        env = env_factory()
+        env.add_stream_mining_providers()
+        binder = make_binder(env)
+        results = []
+
+        def bound(bindings):
+            assert bindings is not None
+            env.manager.execute(simple_graph(), results.append, bindings=bindings)
+
+        binder.bind_graph(simple_graph(), bound)
+        env.sim.run()
+        assert results and results[0].success
+
+
+class TestCommitmentLoop:
+    def test_reputation_steers_future_awards(self, env_factory):
+        """A provider that overran its commitment loses the next award."""
+        env = env_factory()
+        env.add_provider("overruns", "DecisionTreeService", price=1.0)
+        env.add_provider("honest", "DecisionTreeService", price=1.3)
+        binder = make_binder(env)
+        task = TaskSpec("learn", "DecisionTreeService")
+
+        got = []
+        binder.bind_task(task, got.append)
+        env.sim.run()
+        assert got[0].provider == "overruns"  # cheapest wins round 1
+
+        # the manager later measured a 4x overrun of the commitment;
+        # reputation is keyed by the provider AGENT name (the negotiation
+        # contractor), matching Binding.provider
+        binder.report_outcome("overruns", committed_s=1.0, actual_s=4.0)
+        binder.report_outcome("overruns", committed_s=1.0, actual_s=4.0)
+        assert binder.reputation_of("overruns") < 1.0
+
+        got2 = []
+        binder.bind_task(task, got2.append)
+        env.sim.run()
+        assert got2[0].provider == "honest"
+
+    def test_on_time_outcome_keeps_reputation(self, env_factory):
+        env = env_factory()
+        binder = make_binder(env)
+        binder.report_outcome("good", committed_s=2.0, actual_s=1.9)
+        assert binder.reputation_of("good") == pytest.approx(1.0)

@@ -1,0 +1,146 @@
+"""Unit tests for task graphs and the HTN planner."""
+
+import pytest
+
+from repro.composition import HTNPlanner, Method, TaskGraph, TaskSpec, build_pervasive_domain
+from repro.composition.planner import PlanningError
+
+
+def chain_graph():
+    g = TaskGraph()
+    g.add_task(TaskSpec("a", "ComputeService"))
+    g.add_task(TaskSpec("b", "ComputeService"))
+    g.add_task(TaskSpec("c", "ComputeService"))
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    return g
+
+
+class TestTaskGraph:
+    def test_topological_order(self):
+        g = chain_graph()
+        assert g.topological_order() == ["a", "b", "c"]
+
+    def test_duplicate_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(TaskSpec("a", "X"))
+        with pytest.raises(ValueError):
+            g.add_task(TaskSpec("a", "Y"))
+
+    def test_edge_unknown_task_rejected(self):
+        g = TaskGraph()
+        g.add_task(TaskSpec("a", "X"))
+        with pytest.raises(KeyError):
+            g.add_edge("a", "ghost")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        g = chain_graph()
+        with pytest.raises(ValueError):
+            g.add_edge("c", "a")
+        # the offending edge must not remain
+        assert g.successors("c") == []
+
+    def test_sources_sinks(self):
+        g = chain_graph()
+        assert g.sources() == ["a"]
+        assert g.sinks() == ["c"]
+
+    def test_predecessors_successors(self):
+        g = chain_graph()
+        assert g.predecessors("b") == ["a"]
+        assert g.successors("b") == ["c"]
+
+    def test_levels_diamond(self):
+        g = TaskGraph()
+        for n in "abcd":
+            g.add_task(TaskSpec(n, "X"))
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        assert g.levels() == [["a"], ["b", "c"], ["d"]]
+
+    def test_contains_len(self):
+        g = chain_graph()
+        assert "a" in g and "z" not in g
+        assert len(g) == 3
+
+    def test_to_request_carries_category(self):
+        spec = TaskSpec("t", "PrinterService", inputs=("Document",))
+        req = spec.to_request()
+        assert req.category == "PrinterService"
+        assert req.inputs == ("Document",)
+
+
+class TestHTNPlanner:
+    def test_stream_mining_decomposition_shape(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        graph = planner.plan("analyze-stream", {"n_partitions": 3})
+        names = graph.topological_order()
+        learns = [n for n in names if n.startswith("learn-tree")]
+        spectra = [n for n in names if n.startswith("spectrum")]
+        selects = [n for n in names if n.startswith("select-dominant")]
+        combines = [n for n in names if n.startswith("combine-ensemble")]
+        assert len(learns) == 3 and len(spectra) == 3
+        assert len(selects) == 1 and len(combines) == 1
+        # fan-in: all spectra feed the select task
+        assert graph.predecessors(selects[0]) == sorted(spectra)
+        assert graph.successors(selects[0]) == combines
+        assert graph.sinks() == combines
+
+    def test_stream_mining_parametric_width(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        graph = planner.plan("analyze-stream", {"n_partitions": 5})
+        assert len([n for n in graph.topological_order() if n.startswith("learn")]) == 5
+
+    def test_temperature_distribution_chain(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        graph = planner.plan("temperature-distribution")
+        order = graph.topological_order()
+        assert len(order) == 2
+        assert order[0].startswith("collect-readings")
+        assert order[1].startswith("solve-pde")
+
+    def test_unknown_goal_raises(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        with pytest.raises(PlanningError):
+            planner.plan("world-peace")
+
+    def test_invalid_params_raise(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        with pytest.raises(PlanningError):
+            planner.plan("analyze-stream", {"n_partitions": 0})
+
+    def test_backtracking_over_methods(self):
+        """First method inapplicable; second used."""
+        domain = {
+            "goal": [
+                Method(name="guarded", applicable=lambda p: p.get("big", False),
+                       subtasks=[TaskSpec("huge", "ComputeService")]),
+                Method(name="fallback", subtasks=[TaskSpec("small", "ComputeService")]),
+            ]
+        }
+        graph = HTNPlanner(domain).plan("goal", {})
+        assert graph.topological_order() == ["small#0"]
+
+    def test_nested_compound_tasks(self):
+        domain = {
+            "outer": [Method(name="m", subtasks=["inner", TaskSpec("after", "X")], edges=[(0, 1)])],
+            "inner": [Method(name="i", subtasks=[TaskSpec("first", "X")])],
+        }
+        graph = HTNPlanner(domain).plan("outer")
+        order = graph.topological_order()
+        assert order[0].startswith("first")
+        assert order[1].startswith("after")
+        assert graph.predecessors(order[1]) == [order[0]]
+
+    def test_is_compound(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        assert planner.is_compound("analyze-stream")
+        assert not planner.is_compound("learn-tree-0")
+
+    def test_unique_task_names_across_replans(self):
+        planner = HTNPlanner(build_pervasive_domain())
+        g1 = planner.plan("analyze-stream", {"n_partitions": 2})
+        g2 = planner.plan("analyze-stream", {"n_partitions": 2})
+        assert len(g1) == len(g2) == 6

@@ -1,0 +1,221 @@
+"""Tests for the Decision Maker, policies, features and the runtime façade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecisionMaker,
+    EstimateGreedyPolicy,
+    FEATURE_NAMES,
+    KNNRegressor,
+    LearnedPolicy,
+    OraclePolicy,
+    PervasiveGridRuntime,
+    StaticPolicy,
+    default_objective,
+    featurize,
+)
+from repro.queries import QueryClass, parse_query
+from repro.queries.models import ALL_MODELS, CentralizedModel, InNetworkTreeModel
+
+AVG_Q = parse_query("SELECT AVG(value) FROM sensors")
+COMPLEX_Q = parse_query("SELECT DISTRIBUTION(value) FROM sensors")
+
+
+def make_runtime(**kw):
+    kw.setdefault("n_sensors", 25)
+    kw.setdefault("area_m", 40.0)
+    kw.setdefault("seed", 3)
+    kw.setdefault("noise_std", 0.0)
+    kw.setdefault("grid_resolution", 20)
+    return PervasiveGridRuntime(**kw)
+
+
+class TestFeatures:
+    def test_feature_vector_shape_and_names(self):
+        rt = make_runtime()
+        targets = rt.deployment.alive_sensor_ids()
+        est = CentralizedModel().estimate(AVG_Q, rt.ctx, targets)
+        x = featurize(AVG_Q, rt.ctx, targets, est)
+        assert x.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(x).all()
+
+    def test_class_one_hot(self):
+        rt = make_runtime()
+        targets = rt.deployment.alive_sensor_ids()
+        est = CentralizedModel().estimate(COMPLEX_Q, rt.ctx, targets)
+        x = featurize(COMPLEX_Q, rt.ctx, targets, est)
+        idx = {n: i for i, n in enumerate(FEATURE_NAMES)}
+        assert x[idx["is_complex"]] == 1.0
+        assert x[idx["is_aggregate"]] == 0.0
+
+
+class TestDecisionMaker:
+    def test_estimates_cover_all_models(self):
+        rt = make_runtime()
+        targets = rt.deployment.alive_sensor_ids()
+        ests = rt.decision_maker.estimates(AVG_Q, rt.ctx, targets)
+        assert set(ests) == {m.name for m in rt.models}
+
+    def test_decide_returns_feasible_model(self):
+        rt = make_runtime()
+        targets = rt.deployment.alive_sensor_ids()
+        decision = rt.decision_maker.decide(AVG_Q, rt.ctx, targets)
+        assert decision is not None
+        assert decision.estimate.feasible
+
+    def test_decide_none_when_no_targets(self):
+        rt = make_runtime()
+        assert rt.decision_maker.decide(AVG_Q, rt.ctx, []) is None
+
+    def test_duplicate_model_names_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionMaker([CentralizedModel(), CentralizedModel()], EstimateGreedyPolicy())
+        with pytest.raises(ValueError):
+            DecisionMaker([], EstimateGreedyPolicy())
+
+    def test_cost_clause_constrains_choice(self):
+        rt = make_runtime()
+        targets = rt.deployment.alive_sensor_ids()
+        # demand exact answers: region (rel_error > 0) must be excluded
+        q = parse_query("SELECT AVG(value) FROM sensors COST accuracy 0.0")
+        decision = rt.decision_maker.decide(q, rt.ctx, targets)
+        assert decision.model.name != "region"
+
+    def test_static_policy_prefers_named(self):
+        rt = make_runtime(policy=StaticPolicy("tree"))
+        targets = rt.deployment.alive_sensor_ids()
+        decision = rt.decision_maker.decide(AVG_Q, rt.ctx, targets)
+        assert decision.model.name == "tree"
+
+    def test_static_policy_falls_back_when_unsupported(self):
+        rt = make_runtime(policy=StaticPolicy("tree"))
+        targets = rt.deployment.alive_sensor_ids()
+        decision = rt.decision_maker.decide(COMPLEX_Q, rt.ctx, targets)
+        assert decision is not None
+        assert decision.model.name != "tree"
+
+    def test_oracle_uses_lookup(self):
+        oracle = OraclePolicy()
+        rt = make_runtime(policy=oracle)
+        targets = rt.deployment.alive_sensor_ids()
+        oracle.lookup = {"centralized": 0.001, "tree": 99.0}
+        decision = rt.decision_maker.decide(AVG_Q, rt.ctx, targets)
+        assert decision.model.name == "centralized"
+
+    def test_default_objective_blends(self):
+        assert default_objective(1e-3, 0.0) == pytest.approx(1.0)
+        assert default_objective(0.0, 1.0) == pytest.approx(1.0)
+
+
+class TestLearnedPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LearnedPolicy(epsilon=1.5)
+
+    def test_falls_back_to_estimates_cold(self):
+        policy = LearnedPolicy(epsilon=0.0, rng=np.random.default_rng(0))
+        rt = make_runtime(policy=policy)
+        targets = rt.deployment.alive_sensor_ids()
+        decision = rt.decision_maker.decide(AVG_Q, rt.ctx, targets)
+        assert decision is not None  # cold start works
+
+    def test_updates_accumulate_and_epsilon_decays(self):
+        policy = LearnedPolicy(epsilon=0.5, epsilon_decay=0.5, rng=np.random.default_rng(0))
+        rt = make_runtime(policy=policy)
+        out = rt.query("SELECT AVG(value) FROM sensors")
+        assert policy.updates == 1
+        assert policy.epsilon == pytest.approx(0.25)
+
+    def test_learner_corrects_systematic_bias(self):
+        """Feed the policy outcomes where one model is secretly terrible."""
+        policy = LearnedPolicy(learner_factory=lambda: KNNRegressor(k=1),
+                               epsilon=0.0, rng=np.random.default_rng(0))
+        rt = make_runtime(policy=policy)
+        targets = rt.deployment.alive_sensor_ids()
+        ests = rt.decision_maker.estimates(AVG_Q, rt.ctx, targets)
+        # teach: tree is 1000x worse than its estimate claims
+        for _ in range(5):
+            policy.update(AVG_Q, rt.ctx, targets, "tree", ests["tree"], 1.0, 1000.0)
+            policy.update(AVG_Q, rt.ctx, targets, "centralized", ests["centralized"],
+                          ests["centralized"].energy_j, ests["centralized"].time_s)
+        decision = rt.decision_maker.decide(AVG_Q, rt.ctx, targets)
+        assert decision.model.name != "tree"
+
+
+class TestRuntimeFacade:
+    def test_query_returns_outcomes(self):
+        rt = make_runtime()
+        out = rt.query("SELECT AVG(value) FROM sensors")
+        assert len(out) == 1
+        assert out[0].success
+        assert out[0].query_class is QueryClass.AGGREGATE
+        assert out[0].value == pytest.approx(20.0, rel=0.05)  # default ambient field
+
+    def test_simple_query(self):
+        rt = make_runtime()
+        out = rt.query("SELECT value FROM sensors WHERE sensor_id = 3")
+        assert out[0].success
+        assert out[0].readings_used == 1
+
+    def test_complex_query_field(self):
+        rt = make_runtime()
+        out = rt.query("SELECT DISTRIBUTION(value) FROM sensors")
+        assert out[0].success
+        assert out[0].value.shape == (20, 20)
+        assert out[0].rel_error < 0.1
+
+    def test_continuous_query_epochs(self):
+        rt = make_runtime()
+        epochs = []
+        rt.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 20", lambda o: None,
+                  on_epoch=epochs.append)
+        rt.sim.run(until=100.0)
+        assert len(epochs) == 4
+        assert all(e.success for e in epochs)
+        assert [e.epoch_index for e in epochs] == [0, 1, 2, 3]
+
+    def test_no_targets_failure(self):
+        rt = make_runtime()
+        out = rt.query("SELECT value FROM sensors WHERE sensor_id = 9999")
+        assert not out[0].success
+        assert out[0].error == "no targets"
+
+    def test_rel_error_meaningful(self):
+        rt = make_runtime(noise_std=2.0)
+        out = rt.query("SELECT AVG(value) FROM sensors")
+        assert math.isfinite(out[0].rel_error)
+        assert out[0].rel_error < 0.2
+
+    def test_energy_accounting(self):
+        rt = make_runtime()
+        assert rt.energy_consumed_j() == 0.0
+        rt.query("SELECT AVG(value) FROM sensors")
+        assert rt.energy_consumed_j() > 0.0
+
+    def test_reproducible_runs(self):
+        def run(seed):
+            rt = make_runtime(seed=seed)
+            out = rt.query("SELECT AVG(value) FROM sensors")
+            return out[0].time_s, out[0].energy_j, out[0].model
+
+        assert run(5) == run(5)
+
+    def test_broker_registered(self):
+        rt = make_runtime()
+        assert rt.platform.is_registered("broker")
+
+    def test_feedback_reaches_policy(self):
+        class SpyPolicy(EstimateGreedyPolicy):
+            def __init__(self):
+                self.feedbacks = []
+
+            def update(self, *args):
+                self.feedbacks.append(args)
+
+        spy = SpyPolicy()
+        rt = make_runtime(policy=spy)
+        rt.query("SELECT AVG(value) FROM sensors")
+        assert len(spy.feedbacks) == 1

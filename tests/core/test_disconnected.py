@@ -1,0 +1,82 @@
+"""Disconnected operation: the grid is unreachable, queries still run.
+
+The pervasive-grid premise is "ubiquity of access" over unreliable
+country-road links -- the backhaul itself can fail.  These tests verify
+the Decision Maker degrades to local computation during uplink outages
+and resumes offloading when the WAN returns.
+"""
+
+import pytest
+
+from repro.core import PervasiveGridRuntime
+from repro.grid import ComputeJob, Uplink
+from repro.simkernel import Simulator
+
+
+class TestUplinkOutage:
+    def test_offline_transfer_raises(self):
+        sim = Simulator()
+        link = Uplink(sim)
+        link.online = False
+        with pytest.raises(RuntimeError):
+            link.transfer(100.0)
+
+    def test_grid_online_mirrors_uplink(self):
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=0)
+        assert rt.grid.online
+        rt.grid.uplink.online = False
+        assert not rt.grid.online
+
+
+class TestDisconnectedQueries:
+    def make(self):
+        return PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=6,
+                                    grid_resolution=24, noise_std=0.0)
+
+    def test_grid_model_infeasible_when_offline(self):
+        from repro.queries import parse_query
+        from repro.queries.models import GridOffloadModel
+
+        rt = self.make()
+        q = parse_query("SELECT DISTRIBUTION(value) FROM sensors")
+        targets = rt.deployment.alive_sensor_ids()
+        rt.grid.uplink.online = False
+        assert not GridOffloadModel().supports(q, rt.ctx)
+
+    def test_complex_query_falls_back_to_base_station(self):
+        rt = self.make()
+        rt.grid.uplink.online = False
+        out = rt.query("SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05")
+        assert out[0].success
+        assert out[0].model in ("centralized", "handheld")
+        assert out[0].rel_error < 0.05
+
+    def test_region_computes_complex_at_base_when_offline(self):
+        from repro.core import StaticPolicy
+        from repro.core.decision import DecisionMaker
+
+        rt = PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=6,
+                                  grid_resolution=24, noise_std=0.0,
+                                  policy=StaticPolicy("region"))
+        rt.grid.uplink.online = False
+        out = rt.query("SELECT DISTRIBUTION(value) FROM sensors")
+        assert out[0].success
+        assert out[0].model == "region"
+        # nothing crossed the WAN
+        assert rt.grid.uplink.transfers == 0
+
+    def test_reconnection_restores_offload(self):
+        rt = self.make()
+        rt.grid.uplink.online = False
+        out1 = rt.query("SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05")
+        assert out1[0].model != "grid"
+        rt.grid.uplink.online = True
+        out2 = rt.query("SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05")
+        assert out2[0].model == "grid"
+
+    def test_aggregates_unaffected_by_outage(self):
+        rt = self.make()
+        rt.grid.uplink.online = False
+        out = rt.query("SELECT AVG(value) FROM sensors")
+        assert out[0].success
+        assert out[0].value == pytest.approx(20.0, rel=0.05)

@@ -1,0 +1,112 @@
+"""Unit tests for the from-scratch learners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import KNNRegressor, RegressionTree
+
+
+class TestKNN:
+    def test_predicts_mean_of_neighbours(self):
+        knn = KNNRegressor(k=2)
+        knn.update(np.array([0.0]), 1.0)
+        knn.update(np.array([0.1]), 3.0)
+        knn.update(np.array([10.0]), 100.0)
+        assert knn.predict(np.array([0.05])) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict(np.array([0.0]))
+
+    def test_k_larger_than_data(self):
+        knn = KNNRegressor(k=10)
+        knn.update(np.array([0.0]), 5.0)
+        assert knn.predict(np.array([1.0])) == 5.0
+
+    def test_standardization_handles_scales(self):
+        """A huge-scale irrelevant feature must not drown a relevant one."""
+        knn = KNNRegressor(k=1)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            relevant = rng.uniform(0, 1)
+            noise = rng.uniform(0, 1e9)
+            knn.update(np.array([relevant, noise]), 100.0 * relevant)
+        pred = knn.predict(np.array([0.5, 5e8]))
+        assert pred == pytest.approx(50.0, abs=15.0)
+
+    def test_sliding_window_evicts(self):
+        knn = KNNRegressor(k=1, max_points=3)
+        for i in range(10):
+            knn.update(np.array([float(i)]), float(i))
+        assert len(knn) == 3
+        # oldest points gone: nearest to 0 is now 7
+        assert knn.predict(np.array([0.0])) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(ValueError):
+            KNNRegressor(max_points=0)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.tuples(st.floats(-10, 10), st.floats(-10, 10)), min_size=1, max_size=30))
+    def test_prediction_within_label_range(self, data):
+        knn = KNNRegressor(k=3)
+        for x, y in data:
+            knn.update(np.array([x]), y)
+        ys = [y for _, y in data]
+        pred = knn.predict(np.array([0.0]))
+        assert min(ys) - 1e-9 <= pred <= max(ys) + 1e-9
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self):
+        tree = RegressionTree(refit_every=1)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            x = rng.uniform(0, 1)
+            tree.update(np.array([x]), 10.0 if x > 0.5 else -10.0)
+        assert tree.predict(np.array([0.9])) == pytest.approx(10.0, abs=1.0)
+        assert tree.predict(np.array([0.1])) == pytest.approx(-10.0, abs=1.0)
+
+    def test_learns_interaction(self):
+        tree = RegressionTree(max_depth=4, refit_every=8)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            a, b = rng.uniform(0, 1, 2)
+            y = 5.0 if (a > 0.5) and (b > 0.5) else 0.0
+            tree.update(np.array([a, b]), y)
+        assert tree.predict(np.array([0.9, 0.9])) > 3.0
+        assert tree.predict(np.array([0.1, 0.9])) < 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.array([0.0]))
+
+    def test_constant_labels_single_leaf(self):
+        tree = RegressionTree(refit_every=1)
+        for i in range(20):
+            tree.update(np.array([float(i)]), 7.0)
+        assert tree.predict(np.array([100.0])) == 7.0
+
+    def test_window_bound(self):
+        tree = RegressionTree(max_points=10, refit_every=1)
+        for i in range(50):
+            tree.update(np.array([float(i)]), float(i))
+        assert len(tree) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples=1)
+        with pytest.raises(ValueError):
+            RegressionTree(refit_every=0)
+
+    def test_refit_cadence(self):
+        tree = RegressionTree(refit_every=5)
+        for i in range(4):
+            tree.update(np.array([float(i)]), float(i))
+        # first update always fits; predictions available immediately
+        assert isinstance(tree.predict(np.array([0.0])), float)

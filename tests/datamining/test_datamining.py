@@ -1,0 +1,261 @@
+"""Unit tests for streams, trees, Fourier spectra and ensembles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datamining import (
+    DecisionTree,
+    FourierFunction,
+    LabeledStream,
+    MajorityVote,
+    accuracy,
+    average_spectra,
+    combine_via_fourier,
+    partition_stream,
+    spectrum_of,
+    truncate_spectrum,
+    walsh_hadamard,
+)
+from repro.datamining.fourier import all_inputs
+
+
+class TestStream:
+    def test_batch_shapes_and_types(self):
+        s = LabeledStream(8, np.random.default_rng(0))
+        X, y = s.batch(100)
+        assert X.shape == (100, 8) and y.shape == (100,)
+        assert set(np.unique(X)) <= {0, 1}
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_noiseless_labels_match_concept(self):
+        s = LabeledStream(6, np.random.default_rng(1), noise=0.0)
+        X, y = s.batch(200)
+        assert np.array_equal(y, s.true_label(X))
+
+    def test_noise_flips_some_labels(self):
+        s = LabeledStream(6, np.random.default_rng(2), noise=0.3)
+        X, y = s.batch(500)
+        assert np.mean(y != s.true_label(X)) > 0.15
+
+    def test_drift_changes_concept(self):
+        s = LabeledStream(8, np.random.default_rng(3), noise=0.0, drift_at=100)
+        X1, _ = s.batch(100)
+        before = s.true_label(X1)
+        s.batch(50)  # crosses the drift point
+        after = s.true_label(X1)
+        assert not np.array_equal(before, after)
+
+    def test_reproducible(self):
+        a = LabeledStream(6, np.random.default_rng(7)).batch(50)
+        b = LabeledStream(6, np.random.default_rng(7)).batch(50)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            LabeledStream(0, rng)
+        with pytest.raises(ValueError):
+            LabeledStream(5, rng, noise=0.5)
+        with pytest.raises(ValueError):
+            LabeledStream(3, rng, term_size=5)
+        with pytest.raises(ValueError):
+            LabeledStream(5, rng).batch(0)
+
+    def test_partition_stream(self):
+        X = np.arange(20).reshape(10, 2)
+        y = np.arange(10)
+        parts = partition_stream(X, y, 3)
+        assert len(parts) == 3
+        assert sum(len(p[0]) for p in parts) == 10
+        with pytest.raises(ValueError):
+            partition_stream(X, y, 0)
+        with pytest.raises(ValueError):
+            partition_stream(X[:2], y[:2], 5)
+
+
+class TestDecisionTree:
+    def test_learns_single_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(200, 5), dtype=np.uint8)
+        y = X[:, 2]
+        tree = DecisionTree(max_depth=2).fit(X, y)
+        assert accuracy(tree.predict, X, y) == 1.0
+        assert tree.depth() <= 2
+
+    def test_learns_xor_with_depth_2(self):
+        X = all_inputs(2)
+        y = X[:, 0] ^ X[:, 1]
+        X_rep = np.tile(X, (50, 1))
+        y_rep = np.tile(y, 50)
+        tree = DecisionTree(max_depth=2, min_samples=1).fit(X_rep, y_rep)
+        assert accuracy(tree.predict, X, y) == 1.0
+
+    def test_depth_zero_majority(self):
+        X = np.zeros((10, 3), dtype=np.uint8)
+        y = np.array([1] * 7 + [0] * 3, dtype=np.uint8)
+        tree = DecisionTree(max_depth=0).fit(X, y)
+        assert np.all(tree.predict(X) == 1)
+
+    def test_beats_chance_on_dnf(self):
+        s = LabeledStream(8, np.random.default_rng(5), noise=0.0)
+        X, y = s.batch(2000)
+        tree = DecisionTree(max_depth=5).fit(X, y)
+        Xt, yt = s.batch(500)
+        assert accuracy(tree.predict, Xt, yt) > 0.7
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2), dtype=np.uint8))
+        with pytest.raises(RuntimeError):
+            DecisionTree().depth()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            DecisionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestWalshHadamard:
+    def test_constant_function_single_coefficient(self):
+        v = np.ones(8)
+        w = walsh_hadamard(v)
+        assert w[0] == pytest.approx(1.0)
+        assert np.allclose(w[1:], 0.0)
+
+    def test_parity_function_single_coefficient(self):
+        # chi over all d bits: table value = (-1)^(popcount)
+        X = all_inputs(3)
+        table = np.where(X.sum(axis=1) % 2 == 0, 1.0, -1.0)
+        w = walsh_hadamard(table)
+        assert w[-1] == pytest.approx(1.0)  # S = {0,1,2} is index 0b111
+        assert np.count_nonzero(np.abs(w) > 1e-12) == 1
+
+    def test_involution(self):
+        rng = np.random.default_rng(0)
+        v = rng.choice([-1.0, 1.0], size=16)
+        assert np.allclose(walsh_hadamard(walsh_hadamard(v) * 16), v)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(1)
+        v = rng.choice([-1.0, 1.0], size=32)
+        w = walsh_hadamard(v)
+        assert np.sum(w**2) == pytest.approx(1.0)  # boolean fn: energy 1
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard(np.ones(6))
+        with pytest.raises(ValueError):
+            walsh_hadamard(np.ones(0))
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=1000))
+    def test_property_parseval(self, d, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.choice([-1.0, 1.0], size=2**d)
+        assert np.sum(walsh_hadamard(v) ** 2) == pytest.approx(1.0)
+
+
+class TestSpectrumAndReconstruction:
+    def test_roundtrip_exact(self):
+        """spectrum -> FourierFunction reproduces the tree exactly."""
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(500, 6), dtype=np.uint8)
+        y = (X[:, 0] & X[:, 1]) | X[:, 4]
+        tree = DecisionTree(max_depth=4).fit(X, y)
+        w = spectrum_of(tree.predict, 6)
+        fn = FourierFunction(w, 6)
+        domain = all_inputs(6)
+        assert np.array_equal(fn.predict(domain), tree.predict(domain))
+
+    def test_shallow_tree_spectrum_is_sparse(self):
+        """Kargupta's observation: depth-k trees have low-order spectra."""
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(500, 8), dtype=np.uint8)
+        y = X[:, 3]
+        tree = DecisionTree(max_depth=1).fit(X, y)
+        w = spectrum_of(tree.predict, 8)
+        assert np.count_nonzero(np.abs(w) > 1e-9) <= 2
+
+    def test_truncate_keeps_largest(self):
+        w = np.array([0.5, -0.8, 0.1, 0.0])
+        t = truncate_spectrum(w, 2)
+        assert np.count_nonzero(t) == 2
+        assert t[1] == -0.8 and t[0] == 0.5
+
+    def test_truncate_edge_cases(self):
+        w = np.array([0.5, -0.8])
+        assert np.array_equal(truncate_spectrum(w, 10), w)
+        assert np.count_nonzero(truncate_spectrum(w, 0)) == 0
+        with pytest.raises(ValueError):
+            truncate_spectrum(w, -1)
+
+    def test_fourier_function_validation(self):
+        with pytest.raises(ValueError):
+            FourierFunction(np.ones(5), 2)
+        fn = FourierFunction(np.zeros(4), 2)
+        with pytest.raises(ValueError):
+            fn.predict(np.zeros((1, 3), dtype=np.uint8))
+
+    def test_size_bits(self):
+        fn = FourierFunction(np.array([0.5, 0.0, -0.1, 0.0]), 2)
+        assert fn.nonzero_coefficients() == 2
+        assert fn.size_bits() == 128.0
+
+
+class TestEnsemble:
+    def make_ensemble(self, d=8, k=3, n=600, seed=0):
+        s = LabeledStream(d, np.random.default_rng(seed), noise=0.05)
+        X, y = s.batch(n)
+        parts = partition_stream(X, y, k)
+        trees = [DecisionTree(max_depth=4).fit(Xp, yp) for Xp, yp in parts]
+        Xt, yt = s.batch(400)
+        return s, trees, (Xt, yt), d
+
+    def test_average_spectra(self):
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        assert np.allclose(average_spectra([a, b]), [0.5, 0.5])
+        with pytest.raises(ValueError):
+            average_spectra([])
+        with pytest.raises(ValueError):
+            average_spectra([a, np.zeros(3)])
+
+    def test_combined_model_beats_chance(self):
+        s, trees, (Xt, yt), d = self.make_ensemble()
+        combined = combine_via_fourier([t.predict for t in trees], d, k_coefficients=32)
+        assert accuracy(combined.predict, Xt, yt) > 0.6
+
+    def test_combined_close_to_majority_vote(self):
+        """Fourier combination approximates the vote with far fewer bits."""
+        s, trees, (Xt, yt), d = self.make_ensemble()
+        vote = MajorityVote([t.predict for t in trees])
+        combined = combine_via_fourier([t.predict for t in trees], d, k_coefficients=64)
+        agree = np.mean(vote.predict(Xt) == combined.predict(Xt))
+        assert agree > 0.85
+
+    def test_truncation_tradeoff_monotone_trend(self):
+        """More coefficients => at least as good agreement with the vote."""
+        s, trees, (Xt, yt), d = self.make_ensemble(seed=3)
+        vote = MajorityVote([t.predict for t in trees]).predict(Xt)
+        agreement = []
+        for k in (4, 64, 256):
+            fn = combine_via_fourier([t.predict for t in trees], d, k_coefficients=k)
+            agreement.append(np.mean(fn.predict(Xt) == vote))
+        assert agreement[-1] >= agreement[0]
+
+    def test_majority_vote_basic(self):
+        always0 = lambda X: np.zeros(len(X), dtype=np.uint8)
+        always1 = lambda X: np.ones(len(X), dtype=np.uint8)
+        X = np.zeros((5, 2), dtype=np.uint8)
+        assert np.all(MajorityVote([always1, always1, always0]).predict(X) == 1)
+        assert np.all(MajorityVote([always0, always0, always1]).predict(X) == 0)
+        with pytest.raises(ValueError):
+            MajorityVote([])
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(lambda X: X, np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,68 @@
+"""Tests for the drift-adaptive online Fourier ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.datamining import LabeledStream, accuracy
+from repro.datamining.online import OnlineFourierEnsemble
+
+D = 8
+
+
+class TestOnlineEnsemble:
+    def test_before_update_raises(self):
+        ens = OnlineFourierEnsemble(D)
+        with pytest.raises(RuntimeError):
+            ens.current_model()
+
+    def test_learns_static_concept(self):
+        stream = LabeledStream(D, np.random.default_rng(0), noise=0.05)
+        ens = OnlineFourierEnsemble(D, window=4)
+        for _ in range(6):
+            ens.update(*stream.batch(300))
+        X, y = stream.batch(500)
+        assert accuracy(ens.predict, X, y) > 0.8
+        assert ens.members == 4  # window bound
+        assert ens.batches_seen == 6
+
+    def test_window_one_is_latest_tree(self):
+        stream = LabeledStream(D, np.random.default_rng(1), noise=0.0)
+        ens = OnlineFourierEnsemble(D, window=1, k_coefficients=2**D)
+        X1, y1 = stream.batch(300)
+        ens.update(X1, y1)
+        from repro.datamining import DecisionTree
+        from repro.datamining.fourier import all_inputs
+
+        tree = DecisionTree(max_depth=4).fit(X1, y1)
+        domain = all_inputs(D)
+        assert np.array_equal(ens.predict(domain), tree.predict(domain))
+
+    def test_adapts_to_drift(self):
+        """After drift, the sliding window recovers; a frozen model does not."""
+        stream = LabeledStream(D, np.random.default_rng(2), noise=0.05,
+                               drift_at=1800)
+        ens = OnlineFourierEnsemble(D, window=3)
+        for _ in range(6):  # 1800 examples: pre-drift
+            ens.update(*stream.batch(300))
+        frozen = ens.current_model()
+        stream.batch(1)  # crosses the drift boundary
+        # post-drift adaptation
+        for _ in range(6):
+            ens.update(*stream.batch(300))
+        X, y = stream.batch(600)
+        adapted_acc = accuracy(ens.predict, X, y)
+        frozen_acc = accuracy(frozen.predict, X, y)
+        assert adapted_acc > 0.75
+        assert adapted_acc > frozen_acc + 0.1
+
+    def test_wire_bits_bounded(self):
+        stream = LabeledStream(D, np.random.default_rng(3))
+        ens = OnlineFourierEnsemble(D, k_coefficients=16)
+        ens.update(*stream.batch(200))
+        assert ens.wire_bits() <= 16 * 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineFourierEnsemble(D, window=0)
+        with pytest.raises(ValueError):
+            OnlineFourierEnsemble(D, k_coefficients=0)

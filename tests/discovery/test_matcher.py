@@ -1,0 +1,213 @@
+"""Unit tests for constraints, the semantic matcher and ranking.
+
+These encode the paper's printer scenario directly: find a printer with
+the shortest queue, geographically closest, color within a cost bound.
+"""
+
+import pytest
+
+from repro.discovery import (
+    Constraint,
+    MatchDegree,
+    Preference,
+    SemanticMatcher,
+    ServiceDescription,
+    ServiceRequest,
+    build_service_ontology,
+)
+
+
+@pytest.fixture
+def matcher():
+    return SemanticMatcher(build_service_ontology())
+
+
+def printer(name, category="PrinterService", **attrs):
+    return ServiceDescription(name=name, category=category, attributes=attrs, interfaces=("Printer",))
+
+
+class TestConstraint:
+    def test_operators(self):
+        attrs = {"cost": 5.0, "color": True, "location": "floor2"}
+        assert Constraint("cost", "<=", 5.0).satisfied_by(attrs)
+        assert not Constraint("cost", "<", 5.0).satisfied_by(attrs)
+        assert Constraint("color", "==", True).satisfied_by(attrs)
+        assert Constraint("location", "in", ["floor1", "floor2"]).satisfied_by(attrs)
+        assert Constraint("location", "contains", "floor").satisfied_by(attrs)
+        assert Constraint("cost", "!=", 4.0).satisfied_by(attrs)
+
+    def test_missing_attribute_fails(self):
+        assert not Constraint("queue", "<", 3).satisfied_by({})
+
+    def test_type_error_fails_gracefully(self):
+        assert not Constraint("cost", "<", 3).satisfied_by({"cost": "cheap"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("x", "~=", 1)
+
+    def test_str(self):
+        assert str(Constraint("cost", "<=", 0.1)) == "cost <= 0.1"
+
+
+class TestPreference:
+    def test_minimize_ranks_low_first(self):
+        p = Preference("queue", "minimize")
+        utils = p.utilities([{"queue": 0}, {"queue": 10}, {"queue": 5}])
+        assert utils[0] == 1.0 and utils[1] == 0.0 and utils[2] == pytest.approx(0.5)
+
+    def test_maximize(self):
+        p = Preference("speed", "maximize")
+        utils = p.utilities([{"speed": 1.0}, {"speed": 3.0}])
+        assert utils == [0.0, 1.0]
+
+    def test_missing_value_neutral(self):
+        p = Preference("queue", "minimize")
+        utils = p.utilities([{"queue": 0}, {}, {"queue": 10}])
+        assert utils[1] == 0.5
+
+    def test_constant_attribute_all_tie(self):
+        p = Preference("queue", "minimize")
+        assert p.utilities([{"queue": 2}, {"queue": 2}]) == [1.0, 1.0]
+
+    def test_all_missing(self):
+        assert Preference("x").utilities([{}, {}]) == [0.5, 0.5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Preference("x", "middle")
+        with pytest.raises(ValueError):
+            Preference("x", weight=0.0)
+
+    def test_bool_not_treated_as_number(self):
+        utils = Preference("flag", "maximize").utilities([{"flag": True}, {"flag": 2.0}, {"flag": 1.0}])
+        assert utils[0] == 0.5  # neutral
+
+
+class TestMatchDegrees:
+    def test_exact(self, matcher):
+        assert matcher.category_degree("PrinterService", "PrinterService") is MatchDegree.EXACT
+
+    def test_plugin_more_specific_advertised(self, matcher):
+        assert matcher.category_degree("PrinterService", "ColorPrinterService") is MatchDegree.PLUGIN
+
+    def test_subsumes_more_general_advertised(self, matcher):
+        assert matcher.category_degree("ColorPrinterService", "PrinterService") is MatchDegree.SUBSUMES
+
+    def test_overlap_siblings(self, matcher):
+        assert matcher.category_degree("ColorPrinterService", "LaserPrinterService") is MatchDegree.OVERLAP
+
+    def test_fail_unrelated(self, matcher):
+        assert matcher.category_degree("PrinterService", "TemperatureSensorService") is MatchDegree.FAIL
+
+    def test_fail_unknown_class(self, matcher):
+        assert matcher.category_degree("Nope", "PrinterService") is MatchDegree.FAIL
+
+    def test_degree_ordering(self):
+        assert MatchDegree.EXACT > MatchDegree.PLUGIN > MatchDegree.SUBSUMES > MatchDegree.OVERLAP > MatchDegree.FAIL
+
+
+class TestEvaluate:
+    def test_exact_scores_highest(self, matcher):
+        req = ServiceRequest(category="PrinterService")
+        exact = matcher.evaluate(req, printer("p1"))
+        plugin = matcher.evaluate(req, printer("p2", category="ColorPrinterService"))
+        subsume = matcher.evaluate(req, printer("p3", category="DeviceService"))
+        assert exact.score > plugin.score > subsume.score > 0.0
+
+    def test_constraint_violation_fails(self, matcher):
+        req = ServiceRequest(
+            category="PrinterService",
+            constraints=(Constraint("cost_per_page", "<=", 0.10),),
+        )
+        cheap = matcher.evaluate(req, printer("cheap", cost_per_page=0.05))
+        pricey = matcher.evaluate(req, printer("pricey", cost_per_page=0.50))
+        assert cheap.degree is MatchDegree.EXACT
+        assert pricey.degree is MatchDegree.FAIL
+        assert pricey.score == 0.0
+
+    def test_io_compatibility_affects_score(self, matcher):
+        req = ServiceRequest(category="DataMiningService", outputs=("DecisionTree",))
+        produces = ServiceDescription("a", "DataMiningService", outputs=("DecisionTree",))
+        produces_not = ServiceDescription("b", "DataMiningService", outputs=("FourierSpectrum",))
+        assert matcher.evaluate(req, produces).score > matcher.evaluate(req, produces_not).score
+
+    def test_io_plugin_outputs_accepted(self, matcher):
+        # requesting generic Data output; service produces DecisionTree (a Data)
+        req = ServiceRequest(category="DataMiningService", outputs=("Data",))
+        svc = ServiceDescription("a", "DataMiningService", outputs=("DecisionTree",))
+        assert matcher.evaluate(req, svc).score > 0.5
+
+    def test_service_inputs_must_be_suppliable(self, matcher):
+        req = ServiceRequest(category="DataMiningService", inputs=("DataStream",))
+        ok = ServiceDescription("a", "DataMiningService", inputs=("DataStream",))
+        starved = ServiceDescription("b", "DataMiningService", inputs=("DecisionTree",))
+        assert matcher.evaluate(req, ok).score > matcher.evaluate(req, starved).score
+
+
+class TestRank:
+    def test_paper_printer_scenario(self, matcher):
+        """Color within cost bound, prefer short queue and nearby."""
+        candidates = [
+            printer("far-cheap-color", category="ColorPrinterService",
+                    cost_per_page=0.08, queue_length=1, distance_m=500.0),
+            printer("near-cheap-color", category="ColorPrinterService",
+                    cost_per_page=0.08, queue_length=1, distance_m=10.0),
+            printer("near-pricey-color", category="ColorPrinterService",
+                    cost_per_page=0.90, queue_length=0, distance_m=5.0),
+            printer("near-cheap-mono", category="LaserPrinterService",
+                    cost_per_page=0.02, queue_length=0, distance_m=5.0),
+        ]
+        req = ServiceRequest(
+            category="ColorPrinterService",
+            constraints=(Constraint("cost_per_page", "<=", 0.10),),
+            preferences=(Preference("queue_length", "minimize"), Preference("distance_m", "minimize")),
+        )
+        ranked = matcher.rank(req, candidates)
+        names = [r.service.name for r in ranked]
+        # pricey color violates the hard constraint: absent entirely
+        assert "near-pricey-color" not in names
+        # the near cheap color printer must win over the far one
+        assert names[0] == "near-cheap-color"
+        assert names.index("near-cheap-color") < names.index("far-cheap-color")
+        # the mono laser appears (SUBSUMES-ish via sibling/ancestor) below color matches
+        if "near-cheap-mono" in names:
+            assert names.index("near-cheap-mono") > names.index("far-cheap-color")
+
+    def test_rank_returns_sorted_degrees(self, matcher):
+        req = ServiceRequest(category="PrinterService")
+        candidates = [
+            printer("general", category="DeviceService"),
+            printer("exact"),
+            printer("specific", category="ColorPrinterService"),
+        ]
+        ranked = matcher.rank(req, candidates)
+        degrees = [r.degree for r in ranked]
+        assert degrees == sorted(degrees, reverse=True)
+        assert ranked[0].service.name == "exact"
+
+    def test_rank_top_k(self, matcher):
+        req = ServiceRequest(category="PrinterService")
+        candidates = [printer(f"p{i}") for i in range(10)]
+        assert len(matcher.rank(req, candidates, top_k=3)) == 3
+
+    def test_rank_excludes_fails(self, matcher):
+        req = ServiceRequest(category="PrinterService")
+        candidates = [printer("p"), ServiceDescription("sensor", "TemperatureSensorService")]
+        names = [r.service.name for r in matcher.rank(req, candidates)]
+        assert names == ["p"]
+
+    def test_rank_deterministic_tie_break(self, matcher):
+        req = ServiceRequest(category="PrinterService")
+        ranked = matcher.rank(req, [printer("b"), printer("a")])
+        assert [r.service.name for r in ranked] == ["a", "b"]
+
+    def test_flat_scoring_ablation(self):
+        """use_degrees=False ranks purely by fuzzy score."""
+        flat = SemanticMatcher(build_service_ontology(), use_degrees=False)
+        req = ServiceRequest(category="PrinterService")
+        ranked = flat.rank(req, [printer("exact"), printer("plugin", category="ColorPrinterService")])
+        assert ranked[0].service.name == "exact"  # distance 0 beats distance 1
+
+    def test_empty_candidates(self, matcher):
+        assert matcher.rank(ServiceRequest(category="PrinterService"), []) == []

@@ -1,0 +1,138 @@
+"""Unit tests for the ontology."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.discovery import Ontology, build_service_ontology
+
+
+@pytest.fixture
+def ont():
+    return build_service_ontology()
+
+
+class TestConstruction:
+    def test_root_exists(self):
+        o = Ontology()
+        assert o.has_class("Thing")
+        assert o.classes() == ["Thing"]
+
+    def test_add_class_default_parent_is_root(self):
+        o = Ontology()
+        o.add_class("A")
+        assert o.parents("A") == {"Thing"}
+        assert o.children("Thing") == {"A"}
+
+    def test_unknown_parent_rejected(self):
+        o = Ontology()
+        with pytest.raises(KeyError):
+            o.add_class("A", "Missing")
+
+    def test_multiple_parents(self):
+        o = Ontology()
+        o.add_class("A")
+        o.add_class("B")
+        o.add_class("C", ["A", "B"])
+        assert o.parents("C") == {"A", "B"}
+
+    def test_readd_extends_parents(self):
+        o = Ontology()
+        o.add_class("A")
+        o.add_class("B")
+        o.add_class("C", "A")
+        o.add_class("C", "B")
+        assert o.parents("C") == {"A", "B"}
+
+    def test_self_parent_rejected(self):
+        o = Ontology()
+        o.add_class("A")
+        with pytest.raises(ValueError):
+            o.add_class("A", "A")
+
+    def test_cycle_rejected(self):
+        o = Ontology()
+        o.add_class("A")
+        o.add_class("B", "A")
+        with pytest.raises(ValueError):
+            o.add_class("A", "B")
+
+
+class TestReasoning:
+    def test_subsumes_reflexive(self, ont):
+        assert ont.subsumes("PrinterService", "PrinterService")
+
+    def test_subsumes_transitive(self, ont):
+        assert ont.subsumes("Service", "ColorPrinterService")
+        assert ont.subsumes("DeviceService", "ColorPrinterService")
+        assert not ont.subsumes("ColorPrinterService", "PrinterService")
+
+    def test_subsumes_unknown_class(self, ont):
+        with pytest.raises(KeyError):
+            ont.subsumes("Nope", "Service")
+
+    def test_ancestors_descendants_inverse(self, ont):
+        assert "PrinterService" in ont.ancestors("ColorPrinterService")
+        assert "ColorPrinterService" in ont.descendants("PrinterService")
+        assert "ColorPrinterService" not in ont.ancestors("ColorPrinterService")
+
+    def test_depth(self, ont):
+        assert ont.depth("Thing") == 0
+        assert ont.depth("Service") == 1
+        assert ont.depth("ColorPrinterService") == 4
+
+    def test_least_common_subsumers_siblings(self, ont):
+        lcs = ont.least_common_subsumers("ColorPrinterService", "LaserPrinterService")
+        assert lcs == {"PrinterService"}
+
+    def test_lcs_with_self(self, ont):
+        assert ont.least_common_subsumers("PrinterService", "PrinterService") == {"PrinterService"}
+
+    def test_lcs_ancestor(self, ont):
+        assert ont.least_common_subsumers("PrinterService", "ColorPrinterService") == {"PrinterService"}
+
+    def test_distance_zero_iff_same(self, ont):
+        assert ont.distance("PrinterService", "PrinterService") == 0
+        assert ont.distance("ColorPrinterService", "LaserPrinterService") == 2
+        assert ont.distance("PrinterService", "ColorPrinterService") == 1
+
+    def test_distance_symmetric(self, ont):
+        a, b = "ColorPrinterService", "TemperatureSensorService"
+        assert ont.distance(a, b) == ont.distance(b, a)
+
+    def test_related_siblings(self, ont):
+        assert ont.related("ColorPrinterService", "LaserPrinterService")
+        assert ont.related("TemperatureSensorService", "ToxinSensorService")
+
+    def test_unrelated_across_root(self, ont):
+        # PrinterService and TemperatureReading only share Thing
+        assert not ont.related("PrinterService", "TemperatureReading")
+
+    @settings(max_examples=30)
+    @given(st.data())
+    def test_distance_triangle_inequality(self, data):
+        ont = build_service_ontology()
+        classes = ont.classes()
+        a = data.draw(st.sampled_from(classes))
+        b = data.draw(st.sampled_from(classes))
+        c = data.draw(st.sampled_from(classes))
+        assert ont.distance(a, b) <= ont.distance(a, c) + ont.distance(c, b)
+
+
+class TestDefaultOntology:
+    def test_expected_classes_present(self, ont):
+        for cls in (
+            "Service",
+            "PrinterService",
+            "ColorPrinterService",
+            "PDESolverService",
+            "TemperatureSensorService",
+            "DecisionTreeService",
+            "FourierSpectrumService",
+            "EnsembleCombinerService",
+            "TemperatureDistribution",
+        ):
+            assert ont.has_class(cls), cls
+
+    def test_all_classes_reachable_from_root(self, ont):
+        reachable = ont.descendants("Thing") | {"Thing"}
+        assert set(ont.classes()) == reachable

@@ -1,0 +1,246 @@
+"""Unit tests for registries, the broker agent and baseline protocols."""
+
+import pytest
+
+from repro.agents import ACLMessage, Agent, AgentPlatform, Performative
+from repro.discovery import (
+    BrokerAgent,
+    DistributedBrokerNetwork,
+    SemanticMatcher,
+    ServiceDescription,
+    ServiceRegistry,
+    ServiceRequest,
+    build_service_ontology,
+)
+from repro.discovery.protocols import BluetoothSDP, JiniLookup, SLPDirectory
+from repro.simkernel import Simulator
+
+
+def make_registry(name="r"):
+    return ServiceRegistry(SemanticMatcher(build_service_ontology()), name=name)
+
+
+def svc(name, category="PrinterService", host=None, **attrs):
+    return ServiceDescription(name=name, category=category, host_node=host,
+                              attributes=attrs, interfaces=(category,))
+
+
+class TestServiceRegistry:
+    def test_advertise_and_search(self):
+        reg = make_registry()
+        reg.advertise(svc("p1"))
+        results = reg.search(ServiceRequest(category="PrinterService"))
+        assert [r.service.name for r in results] == ["p1"]
+        assert len(reg) == 1
+
+    def test_advertise_refresh_overwrites(self):
+        reg = make_registry()
+        reg.advertise(svc("p1", queue_length=5))
+        reg.advertise(svc("p1", queue_length=2))
+        assert len(reg) == 1
+        assert reg.get("p1").attributes["queue_length"] == 2
+
+    def test_withdraw(self):
+        reg = make_registry()
+        reg.advertise(svc("p1"))
+        assert reg.withdraw("p1")
+        assert not reg.withdraw("p1")
+        assert len(reg) == 0
+
+    def test_withdraw_host(self):
+        reg = make_registry()
+        reg.advertise(svc("a", host=3))
+        reg.advertise(svc("b", host=3))
+        reg.advertise(svc("c", host=4))
+        assert reg.withdraw_host(3) == 2
+        assert [s.name for s in reg.services()] == ["c"]
+
+    def test_counts(self):
+        reg = make_registry()
+        reg.advertise(svc("a"))
+        reg.search(ServiceRequest(category="PrinterService"))
+        assert reg.advertise_count == 1
+        assert reg.search_count == 1
+
+
+class TestDistributedBrokerNetwork:
+    def make_net(self):
+        regs = [make_registry(f"b{i}") for i in range(3)]
+        regs[0].advertise(svc("local-printer"))
+        regs[1].advertise(svc("remote-printer", queue_length=0))
+        regs[2].advertise(svc("far-printer"))
+        return regs, DistributedBrokerNetwork(regs, peers={"b0": ["b1"], "b1": ["b2"], "b2": []})
+
+    def test_zero_hops_local_only(self):
+        regs, net = self.make_net()
+        results, asked = net.search(ServiceRequest(category="PrinterService"), home="b0", max_hops=0)
+        assert [r.service.name for r in results] == ["local-printer"]
+        assert asked == 1
+
+    def test_one_hop_reaches_peer(self):
+        regs, net = self.make_net()
+        results, asked = net.search(ServiceRequest(category="PrinterService"), home="b0", max_hops=1)
+        assert {r.service.name for r in results} == {"local-printer", "remote-printer"}
+        assert asked == 2
+
+    def test_two_hops_reaches_all(self):
+        regs, net = self.make_net()
+        results, asked = net.search(ServiceRequest(category="PrinterService"), home="b0", max_hops=2)
+        assert asked == 3
+        assert len(results) == 3
+
+    def test_dedup_keeps_best(self):
+        regs = [make_registry("a"), make_registry("b")]
+        regs[0].advertise(svc("dup", category="DeviceService"))  # weaker match
+        regs[1].advertise(svc("dup"))  # exact match
+        net = DistributedBrokerNetwork(regs)
+        results, _ = net.search(ServiceRequest(category="PrinterService"), home="a", max_hops=1)
+        (r,) = [x for x in results if x.service.name == "dup"]
+        assert r.service.category == "PrinterService"
+
+    def test_full_mesh_default(self):
+        regs = [make_registry("a"), make_registry("b")]
+        net = DistributedBrokerNetwork(regs)
+        assert net.peers == {"a": ["b"], "b": ["a"]}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributedBrokerNetwork([])
+        with pytest.raises(ValueError):
+            DistributedBrokerNetwork([make_registry("x"), make_registry("x")])
+        with pytest.raises(KeyError):
+            DistributedBrokerNetwork([make_registry("a")], peers={"a": ["ghost"]})
+        net = DistributedBrokerNetwork([make_registry("a")])
+        with pytest.raises(KeyError):
+            net.search(ServiceRequest(category="PrinterService"), home="ghost")
+
+
+class TestBrokerAgent:
+    def setup_platform(self):
+        sim = Simulator()
+        platform = AgentPlatform(sim)
+        broker = BrokerAgent("broker", make_registry())
+        platform.register(broker)
+        client = Agent("client")
+        client.replies = []
+        client.on(Performative.INFORM, client.replies.append)
+        client.on(Performative.FAILURE, client.replies.append)
+        platform.register(client)
+        return sim, platform, broker, client
+
+    def test_advertise_then_query(self):
+        sim, platform, broker, client = self.setup_platform()
+        client.ask("broker", Performative.ADVERTISE, svc("p1"))
+        sim.run()
+        client.ask("broker", Performative.QUERY, ServiceRequest(category="PrinterService"))
+        sim.run()
+        assert client.replies[0].content == {"registered": "p1"}
+        matches = client.replies[1].content
+        assert [m.service.name for m in matches] == ["p1"]
+
+    def test_unadvertise(self):
+        sim, platform, broker, client = self.setup_platform()
+        client.ask("broker", Performative.ADVERTISE, svc("p1"))
+        sim.run()
+        client.ask("broker", Performative.UNADVERTISE, "p1")
+        sim.run()
+        assert client.replies[-1].content == {"removed": True}
+        assert len(broker.registry) == 0
+
+    def test_bad_payload_gets_failure(self):
+        sim, platform, broker, client = self.setup_platform()
+        client.ask("broker", Performative.QUERY, "not-a-request")
+        client.ask("broker", Performative.ADVERTISE, 42)
+        sim.run()
+        perfs = [m.performative for m in client.replies]
+        assert perfs == [Performative.FAILURE, Performative.FAILURE]
+
+    def test_top_k_enforced(self):
+        sim, platform, broker, client = self.setup_platform()
+        broker.top_k = 2
+        for i in range(5):
+            broker.registry.advertise(svc(f"p{i}"))
+        client.ask("broker", Performative.QUERY, ServiceRequest(category="PrinterService"))
+        sim.run()
+        assert len(client.replies[-1].content) == 2
+
+
+class TestJiniBaseline:
+    def test_exact_interface_match_only(self):
+        jini = JiniLookup()
+        jini.register(svc("mono", category="PrinterService"))
+        jini.register(svc("color", category="ColorPrinterService"))
+        # Jini finds only the exact interface string
+        assert [s.name for s in jini.lookup("PrinterService")] == ["mono"]
+        assert [s.name for s in jini.lookup("ColorPrinterService")] == ["color"]
+        assert jini.lookup("Printer") == []
+
+    def test_unregister(self):
+        jini = JiniLookup()
+        jini.register(svc("a"))
+        assert jini.unregister("a")
+        assert not jini.unregister("a")
+        assert jini.lookup("PrinterService") == []
+        assert len(jini) == 0
+
+    def test_multiple_interfaces(self):
+        jini = JiniLookup()
+        s = ServiceDescription("multi", "PrinterService", interfaces=("Printer", "Fax"))
+        jini.register(s)
+        assert jini.lookup("Printer") == [s]
+        assert jini.lookup("Fax") == [s]
+
+
+class TestSDPBaseline:
+    def test_uuid_match(self):
+        sdp = BluetoothSDP()
+        a = svc("a", class_uuid="uuid-print")
+        b = svc("b", class_uuid="uuid-print")
+        c = svc("c", class_uuid="uuid-scan")
+        for s in (a, b, c):
+            sdp.register(s)
+        assert [s.name for s in sdp.lookup("uuid-print")] == ["a", "b"]
+        assert sdp.lookup("uuid-unknown") == []
+
+    def test_fallback_to_instance_uuid(self):
+        sdp = BluetoothSDP()
+        s = svc("solo")
+        sdp.register(s)
+        assert sdp.lookup(s.uuid) == [s]
+
+    def test_unregister(self):
+        sdp = BluetoothSDP()
+        s = svc("a", class_uuid="u")
+        sdp.register(s)
+        assert sdp.unregister("a")
+        assert sdp.lookup("u") == []
+        assert not sdp.unregister("a")
+
+
+class TestSLPBaseline:
+    def test_type_and_equality_filter(self):
+        slp = SLPDirectory()
+        slp.register(svc("c1", color=True, cost=0.08))
+        slp.register(svc("c2", color=False, cost=0.02))
+        assert [s.name for s in slp.lookup("PrinterService")] == ["c1", "c2"]
+        assert [s.name for s in slp.lookup("PrinterService", {"color": True})] == ["c1"]
+        # SLP cannot express cost <= 0.10; only equality
+        assert slp.lookup("PrinterService", {"cost": 0.10}) == []
+
+    def test_missing_attribute_fails(self):
+        slp = SLPDirectory()
+        slp.register(svc("c1"))
+        assert slp.lookup("PrinterService", {"color": True}) == []
+
+    def test_custom_type_string(self):
+        slp = SLPDirectory()
+        slp.register(svc("c1", slp_type="service:printer"))
+        assert [s.name for s in slp.lookup("service:printer")] == ["c1"]
+        assert slp.lookup("PrinterService") == []
+
+    def test_unregister(self):
+        slp = SLPDirectory()
+        slp.register(svc("a"))
+        assert slp.unregister("a")
+        assert not slp.unregister("a")
+        assert len(slp) == 0

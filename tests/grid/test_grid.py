@@ -1,0 +1,171 @@
+"""Unit tests for the wired-grid substrate."""
+
+import pytest
+
+from repro.grid import ComputeJob, GridInfrastructure, GridResource, GridScheduler, Uplink
+from repro.simkernel import Simulator
+
+
+class TestComputeJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeJob(ops=-1.0)
+        with pytest.raises(ValueError):
+            ComputeJob(ops=1.0, input_bits=-1.0)
+
+    def test_unique_ids(self):
+        assert ComputeJob(ops=1.0).job_id != ComputeJob(ops=1.0).job_id
+
+
+class TestGridResource:
+    def test_service_time(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", ops_per_second=100.0)
+        assert r.service_time(ComputeJob(ops=250.0)) == pytest.approx(2.5)
+
+    def test_job_completes_at_predicted_time(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", 100.0)
+        results = []
+        finish = r.submit(ComputeJob(ops=500.0), results.append)
+        sim.run()
+        assert finish == pytest.approx(5.0)
+        assert results[0].finished_at == pytest.approx(5.0)
+        assert results[0].queue_wait_s == 0.0
+        assert results[0].service_s == pytest.approx(5.0)
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", 100.0)
+        results = []
+        r.submit(ComputeJob(ops=100.0), results.append)
+        r.submit(ComputeJob(ops=100.0), results.append)
+        sim.run()
+        assert results[0].finished_at == pytest.approx(1.0)
+        assert results[1].started_at == pytest.approx(1.0)
+        assert results[1].finished_at == pytest.approx(2.0)
+        assert results[1].queue_wait_s == pytest.approx(1.0)
+
+    def test_estimate_turnaround_includes_backlog(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", 100.0)
+        r.submit(ComputeJob(ops=100.0))
+        assert r.estimate_turnaround(ComputeJob(ops=100.0)) == pytest.approx(2.0)
+
+    def test_compute_callable_runs(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", 100.0)
+        results = []
+        r.submit(ComputeJob(ops=1.0, compute=lambda: 6 * 7), results.append)
+        sim.run()
+        assert results[0].value == 42
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            GridResource(Simulator(), "s", 0.0)
+
+    def test_utilization(self):
+        sim = Simulator()
+        r = GridResource(sim, "s", 100.0)
+        r.submit(ComputeJob(ops=500.0))
+        sim.run()
+        assert r.utilization(10.0) == pytest.approx(0.5)
+        assert r.utilization(0.0) == 0.0
+
+
+class TestGridScheduler:
+    def test_picks_fastest_when_idle(self):
+        sim = Simulator()
+        slow = GridResource(sim, "slow", 10.0)
+        fast = GridResource(sim, "fast", 1000.0)
+        sched = GridScheduler([slow, fast])
+        assert sched.best_resource(ComputeJob(ops=100.0)) is fast
+
+    def test_load_balances_to_idle_site(self):
+        sim = Simulator()
+        fast = GridResource(sim, "fast", 1000.0)
+        slow = GridResource(sim, "slow", 900.0)
+        sched = GridScheduler([fast, slow])
+        # saturate the fast site
+        fast.submit(ComputeJob(ops=100_000.0))
+        assert sched.best_resource(ComputeJob(ops=100.0)) is slow
+
+    def test_submit_dispatches_and_counts(self):
+        sim = Simulator()
+        sched = GridScheduler([GridResource(sim, "a", 100.0)])
+        results = []
+        sched.submit(ComputeJob(ops=100.0), results.append)
+        sim.run()
+        assert results[0].resource == "a"
+        assert sched.dispatched == 1
+
+    def test_needs_resources(self):
+        with pytest.raises(ValueError):
+            GridScheduler([])
+
+
+class TestUplink:
+    def test_transfer_time(self):
+        sim = Simulator()
+        link = Uplink(sim, bandwidth_bps=1000.0, latency_s=0.5)
+        assert link.transfer_time(2000.0) == pytest.approx(2.5)
+
+    def test_transfers_serialize(self):
+        sim = Simulator()
+        link = Uplink(sim, bandwidth_bps=1000.0, latency_s=0.0)
+        t1 = link.transfer(1000.0)
+        t2 = link.transfer(1000.0)
+        assert t1 == pytest.approx(1.0)
+        assert t2 == pytest.approx(2.0)
+
+    def test_callback_at_completion(self):
+        sim = Simulator()
+        link = Uplink(sim, bandwidth_bps=1000.0, latency_s=0.0)
+        times = []
+        link.transfer(1000.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [pytest.approx(1.0)]
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Uplink(sim, bandwidth_bps=0.0)
+        with pytest.raises(ValueError):
+            Uplink(sim, latency_s=-1.0)
+        with pytest.raises(ValueError):
+            Uplink(sim).transfer_time(-1.0)
+
+    def test_accounting(self):
+        sim = Simulator()
+        link = Uplink(sim)
+        link.transfer(100.0)
+        link.transfer(200.0)
+        assert link.bits_transferred == 300.0
+        assert link.transfers == 2
+
+
+class TestGridInfrastructure:
+    def test_offload_pipeline_timing(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim, site_rates=(100.0,), uplink=Uplink(sim, 1000.0, 0.0))
+        results = []
+        job = ComputeJob(ops=100.0, input_bits=1000.0, output_bits=500.0, compute=lambda: "ok")
+        grid.offload(job, results.append)
+        sim.run()
+        # upload 1s + compute 1s + download 0.5s
+        assert results[0].finished_at == pytest.approx(2.5)
+        assert results[0].value == "ok"
+
+    def test_estimate_matches_actual_unloaded(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim, site_rates=(100.0,), uplink=Uplink(sim, 1000.0, 0.0))
+        job = ComputeJob(ops=100.0, input_bits=1000.0, output_bits=500.0)
+        est = grid.estimate_offload_time(job)
+        results = []
+        grid.offload(job, results.append)
+        sim.run()
+        assert results[0].finished_at == pytest.approx(est)
+
+    def test_fastest_rate(self):
+        grid = GridInfrastructure(Simulator(), site_rates=(1e9, 1e12))
+        assert grid.fastest_rate() == 1e12

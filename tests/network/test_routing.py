@@ -1,0 +1,225 @@
+"""Unit tests for flooding, gossip, aggregation trees and clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import RadioEnergyModel, RadioModel, Topology, grid_positions
+from repro.network.routing import AggregationTree, ClusterFormation, Flooding, Gossip
+
+RADIO = RadioModel(bandwidth_bps=1e6, latency_s=0.01, range_m=12.0)
+EM = RadioEnergyModel()
+
+
+def line_topology(n=5, spacing=10.0, range_m=12.0):
+    pos = np.array([[i * spacing, 0.0] for i in range(n)])
+    return Topology(pos, range_m=range_m)
+
+
+def grid_topology(n=25, area=40.0, range_m=12.0):
+    return Topology(grid_positions(n, area), range_m=range_m)
+
+
+class TestFlooding:
+    def test_reaches_whole_component(self):
+        topo = grid_topology()
+        res = Flooding(topo, RADIO, EM).disseminate(0, 100.0)
+        assert res.reached == set(range(25))
+        assert res.messages == 25  # everyone broadcasts once
+
+    def test_partition_limits_reach(self):
+        topo = line_topology()
+        topo.kill(2)
+        res = Flooding(topo, RADIO, EM).disseminate(0, 100.0)
+        assert res.reached == {0, 1}
+        assert res.messages == 2
+
+    def test_latency_is_eccentricity(self):
+        topo = line_topology(5)
+        res = Flooding(topo, RADIO, EM).disseminate(0, 1000.0)
+        assert res.latency_s == pytest.approx(4 * RADIO.hop_time(1000.0))
+
+    def test_energy_sums_tx_and_rx(self):
+        topo = line_topology(2)
+        res = Flooding(topo, RADIO, EM).disseminate(0, 1000.0)
+        # both nodes broadcast once; each hears the other's broadcast
+        expected = 2 * EM.tx_cost(1000.0, RADIO.range_m) + 2 * EM.rx_cost(1000.0)
+        assert res.energy_j == pytest.approx(expected)
+        assert res.per_node_energy.sum() == pytest.approx(res.energy_j)
+
+
+class TestGossip:
+    def make(self, topo, prob=1.0, fanout=4, seed=0):
+        return Gossip(topo, RADIO, EM, np.random.default_rng(seed), forward_prob=prob, fanout=fanout)
+
+    def test_full_fanout_full_prob_reaches_component_on_line(self):
+        topo = line_topology()
+        res = self.make(topo).disseminate(0, 100.0)
+        assert res.reached == {0, 1, 2, 3, 4}
+
+    def test_low_prob_reaches_fewer(self):
+        topo = grid_topology()
+        full = self.make(topo, prob=1.0, fanout=4).disseminate(0, 100.0)
+        sparse = self.make(topo, prob=0.3, fanout=1, seed=2).disseminate(0, 100.0)
+        assert len(sparse.reached) < len(full.reached)
+
+    def test_cheaper_than_flooding_in_energy_when_sparse(self):
+        topo = grid_topology()
+        flood = Flooding(topo, RADIO, EM).disseminate(0, 100.0)
+        gossip = self.make(topo, prob=0.5, fanout=1, seed=1).disseminate(0, 100.0)
+        assert gossip.energy_j < flood.energy_j
+
+    def test_expected_coverage_in_unit_interval(self):
+        topo = grid_topology(16)
+        cov = self.make(topo, prob=0.7, fanout=2).expected_coverage(0, 100.0, trials=5)
+        assert 0.0 < cov <= 1.0
+
+    def test_reproducible_with_same_rng(self):
+        topo = grid_topology()
+        a = self.make(topo, prob=0.6, fanout=2, seed=9).disseminate(0, 100.0)
+        b = self.make(topo, prob=0.6, fanout=2, seed=9).disseminate(0, 100.0)
+        assert a.reached == b.reached
+        assert a.energy_j == pytest.approx(b.energy_j)
+
+    def test_validation(self):
+        topo = line_topology()
+        with pytest.raises(ValueError):
+            self.make(topo, prob=0.0)
+        with pytest.raises(ValueError):
+            Gossip(topo, RADIO, EM, np.random.default_rng(0), fanout=0)
+
+
+class TestAggregationTree:
+    def test_line_tree_structure(self):
+        topo = line_topology()
+        tree = AggregationTree(topo, root=0)
+        assert tree.parent[0] == 0
+        assert tree.parent[3] == 2
+        assert tree.children[0] == [1]
+        assert tree.depth == 4
+        assert tree.nodes == [0, 1, 2, 3, 4]
+
+    def test_subtree_sizes_line(self):
+        tree = AggregationTree(line_topology(), root=0)
+        sizes = tree.subtree_sizes()
+        assert sizes == {0: 5, 1: 4, 2: 3, 3: 2, 4: 1}
+
+    def test_path_to_root(self):
+        tree = AggregationTree(line_topology(), root=0)
+        assert tree.path_to_root(3) == [3, 2, 1, 0]
+
+    def test_tree_excludes_partitioned_nodes(self):
+        topo = line_topology()
+        topo.kill(2)
+        tree = AggregationTree(topo, root=0)
+        assert set(tree.nodes) == {0, 1}
+
+    def test_aggregated_one_tx_per_nonroot(self):
+        tree = AggregationTree(grid_topology(), root=0)
+        cost = tree.aggregated_collection(64.0, RADIO, EM)
+        assert cost.messages == 24
+        assert cost.bits_total == pytest.approx(24 * 64.0)
+
+    def test_aggregated_latency_scales_with_depth(self):
+        tree = AggregationTree(line_topology(5), root=0)
+        cost = tree.aggregated_collection(64.0, RADIO, EM)
+        assert cost.latency_s == pytest.approx(4 * RADIO.hop_time(64.0))
+
+    def test_raw_forwards_subtree_counts(self):
+        tree = AggregationTree(line_topology(3), root=0)
+        cost = tree.raw_collection(64.0, RADIO, EM)
+        # node 2 sends 1, node 1 sends 2 (its own + node 2's)
+        assert cost.messages == 3
+        assert cost.bits_total == pytest.approx(3 * 64.0)
+
+    def test_raw_costs_more_than_aggregated(self):
+        """The paper's central energy claim (via TAG)."""
+        tree = AggregationTree(grid_topology(), root=0)
+        raw = tree.raw_collection(64.0, RADIO, EM)
+        agg = tree.aggregated_collection(64.0, RADIO, EM)
+        assert raw.energy_j > agg.energy_j
+        assert raw.latency_s > agg.latency_s
+
+    def test_root_only_tree(self):
+        topo = line_topology()
+        for n in (1, 2, 3, 4):
+            topo.kill(n)
+        tree = AggregationTree(topo, root=0)
+        assert tree.nodes == [0]
+        assert tree.depth == 0
+        cost = tree.aggregated_collection(64.0, RADIO, EM)
+        assert cost.messages == 0
+        assert cost.energy_j == 0.0
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=4, max_value=36), st.integers(min_value=0, max_value=50))
+    def test_property_aggregated_cheaper_or_equal(self, n, seed):
+        topo = grid_topology(n, area=30.0, range_m=16.0)
+        tree = AggregationTree(topo, root=0)
+        raw = tree.raw_collection(64.0, RADIO, EM)
+        agg = tree.aggregated_collection(64.0, RADIO, EM)
+        assert agg.energy_j <= raw.energy_j + 1e-12
+        assert agg.messages <= raw.messages
+
+
+class TestClusterFormation:
+    def make(self, topo, frac=0.2, seed=0):
+        return ClusterFormation(topo, sink=0, rng=np.random.default_rng(seed), head_fraction=frac)
+
+    def test_every_non_sink_node_assigned(self):
+        topo = grid_topology()
+        cf = self.make(topo)
+        assert set(cf.membership) == set(range(1, 25))
+        assert all(h in cf.heads for h in cf.membership.values())
+
+    def test_at_least_one_head(self):
+        topo = grid_topology()
+        cf = self.make(topo, frac=1e-9)  # Bernoulli will miss; fallback fires
+        assert len(cf.heads) == 1
+
+    def test_sink_never_head_nor_member(self):
+        topo = grid_topology()
+        cf = self.make(topo)
+        assert 0 not in cf.heads
+        assert 0 not in cf.membership
+
+    def test_members_of(self):
+        topo = grid_topology()
+        cf = self.make(topo)
+        for head in cf.heads:
+            for m in cf.members_of(head):
+                assert cf.membership[m] == head
+                assert m != head
+
+    def test_collection_cost_positive(self):
+        topo = grid_topology()
+        cf = self.make(topo)
+        cost = cf.aggregated_collection(64.0, 64.0, RADIO, EM)
+        assert cost.energy_j > 0
+        assert cost.messages >= len(cf.membership) - len(cf.heads)
+        assert 0 in cost.participating
+
+    def test_cluster_beats_raw_tree_collection(self):
+        """Cluster aggregation also saves energy vs raw convergecast."""
+        topo = grid_topology()
+        cf = self.make(topo)
+        cluster = cf.aggregated_collection(64.0, 64.0, RADIO, EM)
+        raw = AggregationTree(topo, root=0).raw_collection(64.0, RADIO, EM)
+        assert cluster.energy_j < raw.energy_j
+
+    def test_dead_nodes_not_assigned(self):
+        topo = grid_topology()
+        topo.kill(5)
+        cf = self.make(topo)
+        assert 5 not in cf.membership
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterFormation(grid_topology(), 0, np.random.default_rng(0), head_fraction=0.0)
+
+    def test_empty_network(self):
+        topo = line_topology(2)
+        topo.kill(1)
+        cf = ClusterFormation(topo, sink=0, rng=np.random.default_rng(0))
+        assert cf.heads == []
+        assert cf.membership == {}

@@ -1,0 +1,186 @@
+"""Unit tests for grids, interpolation and heat solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pde import HeatSolver, RectGrid, idw_interpolate, readings_to_grid, solve_ops_estimate
+
+
+class TestRectGrid:
+    def test_basic_properties(self):
+        g = RectGrid(5, 4, 10.0, 6.0)
+        assert g.n_points == 20
+        assert g.shape == (5, 4)
+        assert g.dx == pytest.approx(2.5)
+        assert g.dy == pytest.approx(2.0)
+
+    def test_points_cover_extent(self):
+        g = RectGrid(3, 3, 10.0, 10.0)
+        pts = g.points()
+        assert pts.shape == (9, 2)
+        assert pts.min() == 0.0 and pts.max() == 10.0
+
+    def test_index_c_order(self):
+        g = RectGrid(3, 4, 1.0, 1.0)
+        assert g.index(0, 0) == 0
+        assert g.index(1, 0) == 4
+        assert g.index(2, 3) == 11
+        with pytest.raises(IndexError):
+            g.index(3, 0)
+
+    def test_boundary_interior_masks_partition(self):
+        g = RectGrid(5, 5, 1.0, 1.0)
+        b, i = g.boundary_mask(), g.interior_mask()
+        assert (b ^ i).all()
+        assert b.sum() == 16 and i.sum() == 9
+
+    def test_nearest_index(self):
+        g = RectGrid(11, 11, 10.0, 10.0)
+        assert g.nearest_index(np.array([0.0, 0.0])) == (0, 0)
+        assert g.nearest_index(np.array([5.2, 4.8])) == (5, 5)
+        assert g.nearest_index(np.array([99.0, -5.0])) == (10, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectGrid(1, 5, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            RectGrid(5, 5, 0.0, 1.0)
+
+
+class TestIDW:
+    def test_exact_at_samples(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        vals = np.array([1.0, 2.0, 3.0])
+        out = idw_interpolate(pts, vals, pts)
+        assert np.allclose(out, vals, atol=1e-6)
+
+    def test_bounded_by_extremes(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        vals = np.array([0.0, 100.0])
+        queries = np.random.default_rng(0).uniform(0, 10, size=(50, 2))
+        out = idw_interpolate(pts, vals, queries)
+        assert (out >= 0.0).all() and (out <= 100.0).all()
+
+    def test_single_sample_constant(self):
+        pts = np.array([[5.0, 5.0]])
+        out = idw_interpolate(pts, np.array([7.0]), np.array([[0.0, 0.0], [9.0, 9.0]]))
+        assert np.allclose(out, 7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            idw_interpolate(np.zeros((0, 2)), np.zeros(0), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            idw_interpolate(np.zeros((2, 3)), np.zeros(2), np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            idw_interpolate(np.zeros((2, 2)), np.zeros(3), np.zeros((1, 2)))
+
+    def test_readings_to_grid_shape(self):
+        g = RectGrid(6, 7, 10.0, 10.0)
+        pts = np.array([[2.0, 2.0], [8.0, 8.0]])
+        field = readings_to_grid(g, pts, np.array([10.0, 30.0]))
+        assert field.shape == (6, 7)
+        assert 10.0 - 1e-9 <= field.mean() <= 30.0 + 1e-9
+
+
+class TestHeatSolver:
+    def test_constant_boundary_gives_constant_field(self):
+        g = RectGrid(8, 8, 1.0, 1.0)
+        field = HeatSolver(g).solve_steady(np.full(g.shape, 25.0))
+        assert np.allclose(field, 25.0, atol=1e-8)
+
+    def test_linear_profile_between_hot_and_cold_walls(self):
+        """The Laplace solution with linear Dirichlet data is linear."""
+        g = RectGrid(21, 5, 1.0, 1.0)
+        xs = np.linspace(0.0, 100.0, g.nx)
+        bvals = np.broadcast_to(xs[:, None], g.shape).copy()
+        field = HeatSolver(g).solve_steady(bvals)
+        assert np.allclose(field, bvals, atol=1e-6)
+
+    def test_maximum_principle(self):
+        """Without sources, interior extrema cannot exceed boundary extrema."""
+        g = RectGrid(12, 12, 1.0, 1.0)
+        rng = np.random.default_rng(0)
+        bvals = np.zeros(g.shape)
+        b = g.boundary_mask()
+        bvals[b] = rng.uniform(10.0, 50.0, size=int(b.sum()))
+        field = HeatSolver(g).solve_steady(bvals)
+        assert field.min() >= 10.0 - 1e-8
+        assert field.max() <= 50.0 + 1e-8
+
+    def test_source_raises_interior_temperature(self):
+        g = RectGrid(15, 15, 1.0, 1.0)
+        solver = HeatSolver(g)
+        cold = solver.solve_steady(np.zeros(g.shape))
+        src = np.zeros(g.shape)
+        src[7, 7] = 100.0
+        hot = solver.solve_steady(np.zeros(g.shape), source=src)
+        assert hot[7, 7] > cold[7, 7]
+        assert hot.max() > 0.0
+
+    def test_fixed_interior_point(self):
+        """A sensor reading can be pinned anywhere, not just the boundary."""
+        g = RectGrid(9, 9, 1.0, 1.0)
+        fixed = g.boundary_mask()
+        fixed[4, 4] = True
+        bvals = np.zeros(g.shape)
+        bvals[4, 4] = 500.0
+        field = HeatSolver(g).solve_steady(bvals, fixed_mask=fixed)
+        assert field[4, 4] == pytest.approx(500.0)
+        assert field[4, 5] > 0.0  # heat spreads
+
+    def test_transient_converges_to_steady(self):
+        g = RectGrid(10, 10, 1.0, 1.0)
+        solver = HeatSolver(g)
+        bvals = np.zeros(g.shape)
+        bvals[0, :] = 100.0
+        fixed = g.boundary_mask()
+        steady = solver.solve_steady(bvals, fixed_mask=fixed)
+        t = bvals.copy()
+        for _ in range(200):
+            t = solver.step_transient(t, dt=0.05, fixed_mask=fixed, boundary_values=bvals)
+        assert np.allclose(t, steady, atol=0.5)
+
+    def test_transient_stable_large_dt(self):
+        g = RectGrid(10, 10, 1.0, 1.0)
+        solver = HeatSolver(g)
+        t = np.zeros(g.shape)
+        t[5, 5] = 1000.0
+        t1 = solver.step_transient(t, dt=100.0)
+        assert np.isfinite(t1).all()
+
+    def test_validation(self):
+        g = RectGrid(4, 4, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            HeatSolver(g, conductivity=0.0)
+        solver = HeatSolver(g)
+        with pytest.raises(ValueError):
+            solver.solve_steady(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            solver.solve_steady(np.zeros(g.shape), fixed_mask=np.zeros(g.shape, dtype=bool))
+        with pytest.raises(ValueError):
+            solver.step_transient(np.zeros(g.shape), dt=0.0)
+
+    def test_ops_estimate_grows_superlinearly(self):
+        small = RectGrid(10, 10, 1.0, 1.0)
+        large = RectGrid(40, 40, 1.0, 1.0)
+        ratio = HeatSolver(large).ops_estimate() / HeatSolver(small).ops_estimate()
+        assert ratio > 16.0  # superlinear in point count (16x points)
+
+    def test_solve_ops_estimate_validation(self):
+        with pytest.raises(ValueError):
+            solve_ops_estimate(-1)
+        assert solve_ops_estimate(0) == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=50))
+    def test_property_maximum_principle(self, n, seed):
+        g = RectGrid(n, n, 1.0, 1.0)
+        rng = np.random.default_rng(seed)
+        bvals = np.zeros(g.shape)
+        b = g.boundary_mask()
+        vals = rng.uniform(-5.0, 5.0, size=int(b.sum()))
+        bvals[b] = vals
+        field = HeatSolver(g).solve_steady(bvals)
+        assert field.min() >= vals.min() - 1e-8
+        assert field.max() <= vals.max() + 1e-8

@@ -1,0 +1,139 @@
+"""Unit tests for the 3-D grid and heat solver, plus query integration."""
+
+import numpy as np
+import pytest
+
+from repro.pde import BoxGrid, HeatSolver3D, solve3d_ops_estimate
+
+
+class TestBoxGrid:
+    def test_basic_properties(self):
+        g = BoxGrid(5, 4, 3, 10.0, 6.0, 2.0)
+        assert g.n_points == 60
+        assert g.shape == (5, 4, 3)
+        assert g.dx == pytest.approx(2.5)
+        assert g.dz == pytest.approx(1.0)
+
+    def test_points_cover_extent(self):
+        g = BoxGrid(3, 3, 3, 10.0, 20.0, 5.0)
+        pts = g.points()
+        assert pts.shape == (27, 3)
+        assert pts[:, 0].max() == 10.0
+        assert pts[:, 1].max() == 20.0
+        assert pts[:, 2].max() == 5.0
+
+    def test_index_c_order(self):
+        g = BoxGrid(3, 4, 5, 1.0, 1.0, 1.0)
+        assert g.index(0, 0, 0) == 0
+        assert g.index(0, 0, 4) == 4
+        assert g.index(0, 1, 0) == 5
+        assert g.index(1, 0, 0) == 20
+        with pytest.raises(IndexError):
+            g.index(3, 0, 0)
+
+    def test_masks_partition(self):
+        g = BoxGrid(4, 4, 4, 1.0, 1.0, 1.0)
+        b, i = g.boundary_mask(), g.interior_mask()
+        assert (b ^ i).all()
+        assert i.sum() == 8  # 2x2x2 interior
+
+    def test_nearest_index_clips(self):
+        g = BoxGrid(11, 11, 5, 10.0, 10.0, 4.0)
+        assert g.nearest_index(np.array([5.0, 5.0, 2.0])) == (5, 5, 2)
+        assert g.nearest_index(np.array([-3.0, 99.0, 99.0])) == (0, 10, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoxGrid(1, 3, 3, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            BoxGrid(3, 3, 3, 0.0, 1.0, 1.0)
+
+
+class TestHeatSolver3D:
+    def test_constant_boundary_constant_field(self):
+        g = BoxGrid(6, 6, 6, 1.0, 1.0, 1.0)
+        field = HeatSolver3D(g).solve_steady(np.full(g.shape, 30.0))
+        assert np.allclose(field, 30.0, atol=1e-8)
+
+    def test_linear_profile(self):
+        g = BoxGrid(9, 4, 4, 1.0, 1.0, 1.0)
+        xs = np.linspace(0.0, 100.0, g.nx)
+        bvals = np.broadcast_to(xs[:, None, None], g.shape).copy()
+        field = HeatSolver3D(g).solve_steady(bvals)
+        assert np.allclose(field, bvals, atol=1e-6)
+
+    def test_maximum_principle(self):
+        g = BoxGrid(7, 7, 5, 1.0, 1.0, 1.0)
+        rng = np.random.default_rng(0)
+        bvals = np.zeros(g.shape)
+        b = g.boundary_mask()
+        vals = rng.uniform(5.0, 50.0, size=int(b.sum()))
+        bvals[b] = vals
+        field = HeatSolver3D(g).solve_steady(bvals)
+        assert field.min() >= vals.min() - 1e-8
+        assert field.max() <= vals.max() + 1e-8
+
+    def test_interior_anchor(self):
+        g = BoxGrid(7, 7, 7, 1.0, 1.0, 1.0)
+        fixed = g.boundary_mask()
+        fixed[3, 3, 3] = True
+        bvals = np.zeros(g.shape)
+        bvals[3, 3, 3] = 400.0
+        field = HeatSolver3D(g).solve_steady(bvals, fixed_mask=fixed)
+        assert field[3, 3, 3] == pytest.approx(400.0)
+        assert field[3, 3, 4] > 0.0
+
+    def test_source_heats_interior(self):
+        g = BoxGrid(8, 8, 8, 1.0, 1.0, 1.0)
+        solver = HeatSolver3D(g)
+        src = np.zeros(g.shape)
+        src[4, 4, 4] = 1000.0
+        hot = solver.solve_steady(np.zeros(g.shape), source=src)
+        assert hot[4, 4, 4] > 0.0
+
+    def test_validation(self):
+        g = BoxGrid(3, 3, 3, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            HeatSolver3D(g, conductivity=0.0)
+        with pytest.raises(ValueError):
+            HeatSolver3D(g).solve_steady(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            HeatSolver3D(g).solve_steady(np.zeros(g.shape), fixed_mask=np.zeros(g.shape, dtype=bool))
+
+    def test_ops_estimate(self):
+        with pytest.raises(ValueError):
+            solve3d_ops_estimate(-1)
+        # 3-D solves are charged quadratically: far beyond 2-D's n^1.5
+        from repro.pde import solve_ops_estimate
+
+        assert solve3d_ops_estimate(1000) > solve_ops_estimate(1000)
+
+
+class TestDistribution3DQuery:
+    def test_end_to_end_3d_query(self):
+        from repro.core import PervasiveGridRuntime
+
+        rt = PervasiveGridRuntime(n_sensors=16, area_m=30.0, seed=4,
+                                  grid_resolution=16, noise_std=0.0)
+        out = rt.query("SELECT DISTRIBUTION3D(value) FROM sensors COST accuracy 0.05")
+        assert out[0].success
+        field = out[0].value
+        assert field.shape == (16, 16, 4)
+        # ambient 20 C everywhere -> field near 20 throughout the volume
+        assert np.allclose(field, 20.0, atol=1.5)
+        assert out[0].rel_error < 0.05
+
+    def test_3d_classified_complex_and_grid_bound(self):
+        from repro.queries import classify, parse_query, QueryClass
+        from repro.queries.models import GridOffloadModel, HandheldModel
+        from repro.core import PervasiveGridRuntime
+
+        q = parse_query("SELECT DISTRIBUTION3D(value) FROM sensors")
+        assert classify(q) is QueryClass.COMPLEX
+
+        rt = PervasiveGridRuntime(n_sensors=16, area_m=30.0, seed=4, grid_resolution=24)
+        targets = rt.deployment.alive_sensor_ids()
+        grid_est = GridOffloadModel().estimate(q, rt.ctx, targets)
+        hh_est = HandheldModel().estimate(q, rt.ctx, targets)
+        # the 3-D solve is emphatically grid territory
+        assert grid_est.time_s < hh_est.time_s / 100.0

@@ -1,0 +1,128 @@
+"""Validation: analytic collection costs == message-level simulation.
+
+The experiments rely on analytic convergecast costing (exact for lossless
+radios).  These tests run the same rounds as real messages through the
+wireless substrate and check agreement -- the evidence for the fast
+path's fidelity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network.energy import RadioEnergyModel
+from repro.queries.models import collection
+from repro.queries.models.eventdriven import EventDrivenTreeCollection
+from repro.sensors import SensorDeployment, UniformField
+from repro.simkernel import RandomStreams
+
+BITS = 128.0
+
+
+def make_deployment(n=25, area=40.0, seed=0, loss=0.0):
+    from repro.network.radio import RadioModel
+
+    side = int(np.ceil(np.sqrt(n)))
+    spacing = area / max(side - 1, 1)
+    radio = RadioModel(bandwidth_bps=250_000.0, latency_s=0.01, loss_prob=loss,
+                       range_m=max(spacing * 1.6, 0.12 * area))
+    return SensorDeployment(n, area, UniformField(20.0), streams=RandomStreams(seed),
+                            radio=radio, noise_std=0.0)
+
+
+def run_event_driven(dep, targets, aggregated=True):
+    reports = []
+    EventDrivenTreeCollection(dep).run(targets, BITS, reports.append,
+                                       aggregated=aggregated)
+    dep.sim.run()
+    assert reports, "collection never completed"
+    return reports[0]
+
+
+class TestAggregatedAgreement:
+    def test_energy_matches_exactly(self):
+        dep = make_deployment()
+        targets = dep.alive_sensor_ids()
+        analytic = collection.aggregated_collection(dep, targets, BITS, ops_per_merge=0.0)
+        report = run_event_driven(dep, targets)
+        assert report.completed
+        assert report.energy_j == pytest.approx(analytic.energy_j, rel=1e-9)
+
+    def test_message_count_matches(self):
+        dep = make_deployment()
+        targets = dep.alive_sensor_ids()
+        analytic = collection.aggregated_collection(dep, targets, BITS)
+        report = run_event_driven(dep, targets)
+        assert report.messages == analytic.messages
+        assert report.delivered == analytic.messages
+
+    def test_latency_matches_exactly(self):
+        """Emergent level-by-level timing equals depth * hop_time."""
+        dep = make_deployment()
+        targets = dep.alive_sensor_ids()
+        analytic = collection.aggregated_collection(dep, targets, BITS)
+        report = run_event_driven(dep, targets)
+        assert report.latency_s == pytest.approx(analytic.latency_s, rel=1e-9)
+
+    def test_subset_of_targets(self):
+        dep = make_deployment()
+        targets = [0, 7, 24]
+        analytic = collection.aggregated_collection(dep, targets, BITS, ops_per_merge=0.0)
+        report = run_event_driven(dep, targets)
+        assert report.energy_j == pytest.approx(analytic.energy_j, rel=1e-9)
+        assert report.messages == analytic.messages
+
+    @pytest.mark.parametrize("n,seed", [(9, 1), (16, 2), (36, 3), (49, 4)])
+    def test_agreement_across_sizes(self, n, seed):
+        dep = make_deployment(n=n, seed=seed)
+        targets = dep.alive_sensor_ids()
+        analytic = collection.aggregated_collection(dep, targets, BITS, ops_per_merge=0.0)
+        report = run_event_driven(dep, targets)
+        assert report.energy_j == pytest.approx(analytic.energy_j, rel=1e-9)
+        assert report.latency_s == pytest.approx(analytic.latency_s, rel=1e-9)
+
+
+class TestRawAgreement:
+    def test_energy_and_messages_match(self):
+        dep = make_deployment()
+        targets = dep.alive_sensor_ids()
+        analytic = collection.raw_collection(dep, targets, BITS)
+        report = run_event_driven(dep, targets, aggregated=False)
+        assert report.completed
+        assert report.messages == analytic.messages
+        assert report.energy_j == pytest.approx(analytic.energy_j, rel=1e-9)
+
+    def test_raw_latency_analytic_is_conservative(self):
+        """The analytic raw latency models root-inlink serialization that
+        the (MAC-free) event simulation does not; it must upper-bound the
+        event-driven time."""
+        dep = make_deployment()
+        targets = dep.alive_sensor_ids()
+        analytic = collection.raw_collection(dep, targets, BITS)
+        report = run_event_driven(dep, targets, aggregated=False)
+        assert analytic.latency_s >= report.latency_s
+
+
+class TestLossyBehaviour:
+    def test_loss_reduces_delivered(self):
+        dep = make_deployment(loss=0.3, seed=9)
+        targets = dep.alive_sensor_ids()
+        reports = []
+        EventDrivenTreeCollection(dep).run(targets, BITS, reports.append)
+        dep.sim.run()
+        # under loss the round may stall (partials die): either it
+        # completed with some losses absorbed by luck, or it never fired
+        if reports:
+            assert reports[0].delivered <= reports[0].messages
+        else:
+            # stalled: the analytic lossless model is an optimistic bound,
+            # which is exactly why execution applies retransmission factors
+            assert True
+
+    def test_empty_targets_complete_immediately(self):
+        dep = make_deployment()
+        reports = []
+        EventDrivenTreeCollection(dep).run([], BITS, reports.append)
+        dep.sim.run()
+        assert reports[0].completed
+        assert reports[0].messages == 0
+        assert reports[0].latency_s == 0.0

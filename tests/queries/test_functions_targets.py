@@ -1,0 +1,135 @@
+"""Unit tests for aggregate functions and WHERE-clause targeting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queries import parse_query, room_of, select_targets
+from repro.queries.functions import (
+    AGGREGATES,
+    DECOMPOSABLE,
+    HOLISTIC,
+    compute_aggregate,
+    is_aggregate,
+    is_complex,
+    is_decomposable,
+)
+from repro.queries.targets import sensor_attributes
+from repro.sensors import SensorDeployment, UniformField
+from repro.simkernel import RandomStreams
+
+
+class TestAggregates:
+    VALUES = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+
+    @pytest.mark.parametrize("func,expected", [
+        ("MAX", 5.0),
+        ("MIN", 1.0),
+        ("SUM", 14.0),
+        ("COUNT", 5.0),
+        ("AVG", 2.8),
+        ("MEDIAN", 3.0),
+    ])
+    def test_aggregate_values(self, func, expected):
+        assert compute_aggregate(func, self.VALUES) == pytest.approx(expected)
+
+    def test_std(self):
+        assert compute_aggregate("STD", self.VALUES) == pytest.approx(float(np.std(self.VALUES)))
+
+    def test_case_insensitive(self):
+        assert compute_aggregate("avg", self.VALUES) == pytest.approx(2.8)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            compute_aggregate("FOO", self.VALUES)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            compute_aggregate("AVG", np.array([]))
+
+    def test_classification_helpers(self):
+        assert is_aggregate("AVG") and is_aggregate("median")
+        assert is_decomposable("AVG") and not is_decomposable("MEDIAN")
+        assert is_complex("DISTRIBUTION")
+        assert is_complex("ANYTHING_ELSE")
+        assert not is_complex("AVG")
+
+    def test_median_is_holistic_not_decomposable(self):
+        assert "MEDIAN" in HOLISTIC
+        assert "MEDIAN" not in DECOMPOSABLE
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50))
+    def test_partial_aggregation_matches_direct(self, values):
+        """TAG partial-state merging gives the same answer as direct."""
+        arr = np.array(values)
+        for name, pa in DECOMPOSABLE.items():
+            direct = {
+                "MAX": arr.max(), "MIN": arr.min(), "SUM": arr.sum(),
+                "COUNT": float(len(arr)), "AVG": arr.mean(), "STD": arr.std(),
+            }[name]
+            assert pa.compute(values) == pytest.approx(float(direct), abs=1e-9)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=30),
+           st.integers(min_value=0, max_value=100))
+    def test_partial_aggregation_order_invariant(self, values, seed):
+        """Merging is associative/commutative: shuffles don't matter."""
+        rng = np.random.default_rng(seed)
+        shuffled = list(np.array(values)[rng.permutation(len(values))])
+        for name, pa in DECOMPOSABLE.items():
+            assert pa.compute(values) == pytest.approx(pa.compute(shuffled), abs=1e-9)
+
+
+class TestTargets:
+    @pytest.fixture
+    def dep(self):
+        return SensorDeployment(9, 30.0, UniformField(20.0), streams=RandomStreams(0), noise_std=0.0)
+
+    def test_room_numbering(self, dep):
+        # 3x3 grid over 30m; sensor 0 at (0,0) -> room 1; sensor 8 at (30,30) -> room 9
+        assert room_of(dep, 0, rooms_per_side=3) == 1
+        assert room_of(dep, 8, rooms_per_side=3) == 9
+
+    def test_room_validation(self, dep):
+        with pytest.raises(ValueError):
+            room_of(dep, 0, rooms_per_side=0)
+
+    def test_sensor_attributes(self, dep):
+        attrs = sensor_attributes(dep, 4)
+        assert attrs["sensor_id"] == 4
+        assert {"room", "x", "y"} <= set(attrs)
+
+    def test_select_all_when_no_where(self, dep):
+        q = parse_query("SELECT AVG(value) FROM sensors")
+        assert select_targets(dep, q) == list(range(9))
+
+    def test_select_by_sensor_id(self, dep):
+        q = parse_query("SELECT value FROM sensors WHERE sensor_id = 4")
+        assert select_targets(dep, q) == [4]
+
+    def test_select_by_room(self, dep):
+        q = parse_query("SELECT AVG(value) FROM sensors WHERE room = 1")
+        targets = select_targets(dep, q)
+        assert targets and all(room_of(dep, t) == 1 for t in targets)
+
+    def test_select_by_position(self, dep):
+        q = parse_query("SELECT AVG(value) FROM sensors WHERE x <= 15.0 AND y <= 15.0")
+        targets = select_targets(dep, q)
+        for t in targets:
+            pos = dep.topology.position_of(t)
+            assert pos[0] <= 15.0 and pos[1] <= 15.0
+
+    def test_dead_sensors_excluded(self, dep):
+        q = parse_query("SELECT AVG(value) FROM sensors")
+        dep.topology.kill(3)
+        assert 3 not in select_targets(dep, q)
+
+    def test_value_predicates_ignored_at_targeting(self, dep):
+        q = parse_query("SELECT AVG(value) FROM sensors WHERE value > 100")
+        # value predicate filters readings later, not sensors now
+        assert select_targets(dep, q) == list(range(9))
+
+    def test_conjunction(self, dep):
+        q = parse_query("SELECT value FROM sensors WHERE sensor_id >= 3 AND sensor_id < 6")
+        assert select_targets(dep, q) == [3, 4, 5]

@@ -1,0 +1,164 @@
+"""Unit tests for the query language, AST and classifier."""
+
+import pytest
+
+from repro.queries import (
+    CostClause,
+    Predicate,
+    Query,
+    QueryClass,
+    QuerySyntaxError,
+    SelectItem,
+    base_class,
+    classify,
+    parse_query,
+)
+
+
+class TestParser:
+    def test_paper_simple_query(self):
+        """'Return temperature at Sensor # 10'"""
+        q = parse_query("SELECT value FROM sensors WHERE sensor_id = 10")
+        assert q.select == (SelectItem(attr="value"),)
+        assert q.where == (Predicate("sensor_id", "=", 10),)
+        assert q.cost is None and q.epoch_s is None
+
+    def test_paper_aggregate_query(self):
+        """'Return Average Temperature in room # 210'"""
+        q = parse_query("SELECT AVG(value) FROM sensors WHERE room = 210")
+        assert q.select[0].func == "AVG"
+        assert q.where[0].value == 210
+
+    def test_paper_complex_query(self):
+        """'Find Temperature Distribution in room #210'"""
+        q = parse_query("SELECT DISTRIBUTION(value) FROM sensors WHERE room = 2")
+        assert q.select[0].func == "DISTRIBUTION"
+
+    def test_paper_continuous_query(self):
+        """'Return temperature at Sensor #10 every 10 seconds'"""
+        q = parse_query("SELECT value FROM sensors WHERE sensor_id = 10 EPOCH DURATION 10")
+        assert q.epoch_s == 10.0
+        assert q.is_continuous
+
+    def test_full_paper_format_with_braces(self):
+        q = parse_query(
+            "SELECT {AVG(value), MAX(value)} FROM sensors "
+            "WHERE {room = 2 AND x < 20.0} COST {energy 0.5} EPOCH DURATION 5 FOR 60"
+        )
+        assert len(q.select) == 2
+        assert q.functions == ("AVG", "MAX")
+        assert len(q.where) == 2
+        assert q.cost == CostClause("energy", 0.5)
+        assert q.epoch_s == 5.0 and q.duration_s == 60.0
+
+    def test_cost_clause_operators(self):
+        q = parse_query("SELECT AVG(value) FROM sensors COST time <= 2.5")
+        assert q.cost == CostClause("time", 2.5)
+        q2 = parse_query("SELECT AVG(value) FROM sensors COST accuracy 0.1")
+        assert q2.cost == CostClause("accuracy", 0.1)
+
+    def test_bare_function_defaults_to_value(self):
+        q = parse_query("SELECT AVG() FROM sensors")
+        assert q.select[0] == SelectItem(attr="value", func="AVG")
+
+    def test_case_insensitive_keywords(self):
+        q = parse_query("select avg(value) from sensors where room = 1 epoch duration 2")
+        assert q.select[0].func == "AVG"
+        assert q.epoch_s == 2.0
+
+    def test_string_and_bool_literals(self):
+        q = parse_query("SELECT value FROM sensors WHERE name = 'alpha' AND active = true")
+        assert q.where[0].value == "alpha"
+        assert q.where[1].value is True
+
+    def test_all_comparison_operators(self):
+        q = parse_query(
+            "SELECT value FROM sensors WHERE a = 1 AND b != 2 AND c < 3 AND d <= 4 AND e > 5 AND f >= 6"
+        )
+        assert [p.op for p in q.where] == ["=", "!=", "<", "<=", ">", ">="]
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT FROM sensors",
+        "SELECT value FROM tables",
+        "value FROM sensors",
+        "SELECT value FROM sensors WHERE",
+        "SELECT value FROM sensors WHERE x ~ 3",
+        "SELECT value FROM sensors COST joy 5",
+        "SELECT value FROM sensors COST energy >= 5",
+        "SELECT value FROM sensors EPOCH 5",
+        "SELECT {value FROM sensors",
+        "SELECT AVG( FROM sensors",
+        "SELECT value FROM sensors GARBAGE",
+        "SELECT value FROM sensors WHERE x = @",
+    ])
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(bad)
+
+    def test_raw_preserved(self):
+        text = "SELECT value FROM sensors"
+        assert parse_query(text).raw == text
+
+
+class TestAST:
+    def test_query_requires_select(self):
+        with pytest.raises(ValueError):
+            Query(select=())
+
+    def test_epoch_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Query(select=(SelectItem("value"),), epoch_s=0.0)
+
+    def test_predicate_evaluation(self):
+        p = Predicate("x", "<=", 5)
+        assert p.holds({"x": 5})
+        assert not p.holds({"x": 6})
+        assert not p.holds({})
+        assert not p.holds({"x": "str"})
+
+    def test_predicate_unknown_op(self):
+        with pytest.raises(ValueError):
+            Predicate("x", "~", 1)
+
+    def test_cost_clause_validation(self):
+        with pytest.raises(ValueError):
+            CostClause("joy", 1.0)
+        with pytest.raises(ValueError):
+            CostClause("energy", -1.0)
+
+    def test_functions_dedupe_preserve_order(self):
+        q = Query(select=(
+            SelectItem("value", "MAX"),
+            SelectItem("value", "AVG"),
+            SelectItem("other", "MAX"),
+        ))
+        assert q.functions == ("MAX", "AVG")
+
+
+class TestClassifier:
+    def q(self, text):
+        return parse_query(text)
+
+    def test_simple(self):
+        assert classify(self.q("SELECT value FROM sensors WHERE sensor_id = 10")) is QueryClass.SIMPLE
+
+    def test_aggregate(self):
+        for func in ("MAX", "MIN", "AVG", "SUM", "COUNT", "MEDIAN", "STD"):
+            assert classify(self.q(f"SELECT {func}(value) FROM sensors")) is QueryClass.AGGREGATE
+
+    def test_complex_known(self):
+        assert classify(self.q("SELECT DISTRIBUTION(value) FROM sensors")) is QueryClass.COMPLEX
+
+    def test_complex_arbitrary_function(self):
+        """'we allow for any arbitrary function'"""
+        assert classify(self.q("SELECT MYMODEL(value) FROM sensors")) is QueryClass.COMPLEX
+
+    def test_continuous_dominates(self):
+        q = self.q("SELECT AVG(value) FROM sensors EPOCH DURATION 10")
+        assert classify(q) is QueryClass.CONTINUOUS
+        assert base_class(q) is QueryClass.AGGREGATE
+
+    def test_complex_dominates_aggregate(self):
+        q = self.q("SELECT {AVG(value), DISTRIBUTION(value)} FROM sensors")
+        assert classify(q) is QueryClass.COMPLEX

@@ -1,0 +1,94 @@
+"""Tests for TAG's channel-sharing (snooping) optimization."""
+
+import numpy as np
+import pytest
+
+from repro.queries.models.eventdriven import SnoopingMaxCollection
+from repro.sensors import SensorDeployment, UniformField
+from repro.simkernel import RandomStreams
+
+BITS = 64.0
+
+
+def make_deployment(n=25, area=40.0, seed=0):
+    return SensorDeployment(n, area, UniformField(20.0), streams=RandomStreams(seed),
+                            noise_std=0.0)
+
+
+def run(dep, values, snoop=True):
+    reports = []
+    SnoopingMaxCollection(dep).run(values, BITS, reports.append, snoop=snoop)
+    dep.sim.run()
+    assert reports
+    return reports[0]
+
+
+class TestSnoopingCorrectness:
+    def test_root_computes_exact_max(self):
+        dep = make_deployment()
+        rng = np.random.default_rng(1)
+        values = {i: float(rng.uniform(0, 100)) for i in dep.sensor_ids}
+        report = run(dep, values, snoop=True)
+        assert report.value == pytest.approx(max(values.values()))
+
+    @pytest.mark.parametrize("seed", [2, 3, 4, 5])
+    def test_max_never_lost_to_suppression(self, seed):
+        dep = make_deployment(seed=seed)
+        rng = np.random.default_rng(seed)
+        values = {i: float(rng.uniform(-50, 50)) for i in dep.sensor_ids}
+        assert run(dep, values).value == pytest.approx(max(values.values()))
+
+    def test_duplicate_maxima_survive(self):
+        dep = make_deployment()
+        values = {i: 10.0 for i in dep.sensor_ids}  # everyone ties
+        report = run(dep, values)
+        assert report.value == pytest.approx(10.0)
+
+    def test_subset_of_targets(self):
+        dep = make_deployment()
+        values = {3: 7.0, 17: 42.0, 21: -1.0}
+        assert run(dep, values).value == pytest.approx(42.0)
+
+    def test_empty_targets(self):
+        dep = make_deployment()
+        report = run(dep, {})
+        assert report.messages == 0
+
+
+class TestSnoopingSavings:
+    def test_suppression_reduces_messages_and_energy(self):
+        """The paper's cited claim: channel sharing saves sensor energy."""
+        values = None
+        results = {}
+        for snoop in (False, True):
+            dep = make_deployment(seed=7)
+            rng = np.random.default_rng(7)
+            values = {i: float(rng.uniform(0, 100)) for i in dep.sensor_ids}
+            results[snoop] = run(dep, values, snoop=snoop)
+        plain, snooped = results[False], results[True]
+        assert snooped.value == pytest.approx(plain.value)
+        assert snooped.messages < plain.messages
+        assert snooped.suppressed > 0
+        assert snooped.energy_j < plain.energy_j
+        assert snooped.messages + snooped.suppressed == plain.messages
+
+    def test_no_suppression_without_snooping(self):
+        dep = make_deployment(seed=9)
+        values = {i: float(i) for i in dep.sensor_ids}
+        report = run(dep, values, snoop=False)
+        assert report.suppressed == 0
+
+    def test_savings_grow_with_density(self):
+        """Denser networks overhear more, so suppression saves more."""
+
+        def fraction_suppressed(n, area, seed):
+            dep = make_deployment(n=n, area=area, seed=seed)
+            rng = np.random.default_rng(seed)
+            values = {i: float(rng.uniform(0, 100)) for i in dep.sensor_ids}
+            r = run(dep, values)
+            total = r.messages + r.suppressed
+            return r.suppressed / total if total else 0.0
+
+        sparse = fraction_suppressed(25, 70.0, 11)
+        dense = fraction_suppressed(25, 25.0, 11)
+        assert dense >= sparse

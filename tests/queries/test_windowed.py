@@ -1,0 +1,98 @@
+"""Tests for the Windowed variant of continuous queries."""
+
+import math
+
+import pytest
+
+from repro.core import PervasiveGridRuntime
+from repro.queries import QuerySyntaxError, parse_query
+from repro.sensors.field import UniformField
+
+
+def make_runtime(**kw):
+    kw.setdefault("n_sensors", 9)
+    kw.setdefault("area_m", 20.0)
+    kw.setdefault("seed", 12)
+    kw.setdefault("noise_std", 0.0)
+    return PervasiveGridRuntime(**kw)
+
+
+class TestWindowParsing:
+    def test_window_clause_parsed(self):
+        q = parse_query("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 50 WINDOW 20")
+        assert q.epoch_s == 5.0
+        assert q.duration_s == 50.0
+        assert q.window_s == 20.0
+
+    def test_window_without_epoch_rejected(self):
+        from repro.queries.ast import Query, SelectItem
+
+        with pytest.raises(ValueError):
+            Query(select=(SelectItem("value"),), window_s=10.0)
+
+    def test_window_shorter_than_epoch_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT AVG(value) FROM sensors EPOCH DURATION 10 WINDOW 5")
+
+    def test_window_optional(self):
+        q = parse_query("SELECT AVG(value) FROM sensors EPOCH DURATION 5")
+        assert q.window_s is None
+
+
+class TestWindowedExecution:
+    def test_windowed_max_holds_peak(self):
+        """Windowed MAX reports the peak over the trailing window."""
+        rt = make_runtime(field=UniformField(level=20.0, drift_per_s=-0.5))
+        epochs = []
+        rt.submit("SELECT MAX(value) FROM sensors EPOCH DURATION 5 FOR 40 WINDOW 20",
+                  lambda o: None, on_epoch=epochs.append)
+        rt.sim.run(until=100.0)
+        assert len(epochs) == 8
+        # the field cools over time; windowed MAX lags the instantaneous
+        # value by holding the window's earlier (hotter) peak
+        values = [e.value for e in epochs]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))  # non-increasing
+        # window of 4 epochs: epoch 5 (t=25) holds the peak sampled at
+        # t=10 (the oldest of its 4 epochs): 20 - 0.5*10 = 15
+        assert values[5] == pytest.approx(15.0, abs=1.0)
+
+    def test_windowed_avg_smooths(self):
+        rt = make_runtime(noise_std=3.0)
+        plain, smoothed = [], []
+        rt.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 100",
+                  lambda o: None, on_epoch=lambda o: plain.append(o.value))
+        rt.sim.run(until=300.0)
+        rt2 = make_runtime(noise_std=3.0, seed=12)
+        rt2.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 100 WINDOW 25",
+                   lambda o: None, on_epoch=lambda o: smoothed.append(o.value))
+        rt2.sim.run(until=300.0)
+        import numpy as np
+
+        # smoothing reduces epoch-to-epoch variance
+        assert np.std(np.diff(smoothed[5:])) < np.std(np.diff(plain[5:]))
+
+    def test_windowed_count_sums_epochs(self):
+        rt = make_runtime()
+        epochs = []
+        rt.submit("SELECT COUNT(value) FROM sensors EPOCH DURATION 5 FOR 30 WINDOW 15",
+                  lambda o: None, on_epoch=epochs.append)
+        rt.sim.run(until=60.0)
+        # window of 3 epochs over 9 sensors: steady-state count = 27
+        assert epochs[-1].value == pytest.approx(27.0)
+        assert epochs[0].value == pytest.approx(9.0)  # only 1 epoch in window
+
+    def test_windowed_rel_error_is_nan(self):
+        rt = make_runtime()
+        epochs = []
+        rt.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 20 WINDOW 10",
+                  lambda o: None, on_epoch=epochs.append)
+        rt.sim.run(until=40.0)
+        assert all(math.isnan(e.rel_error) for e in epochs)
+
+    def test_non_windowed_unaffected(self):
+        rt = make_runtime()
+        epochs = []
+        rt.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 20",
+                  lambda o: None, on_epoch=epochs.append)
+        rt.sim.run(until=40.0)
+        assert all(not math.isnan(e.rel_error) for e in epochs if e.success)

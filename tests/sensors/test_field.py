@@ -1,0 +1,128 @@
+"""Unit tests for synthetic physical fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sensors import FireField, HotspotField, PlumeField, UniformField
+from repro.sensors.field import Hotspot
+
+
+class TestUniformField:
+    def test_constant_everywhere(self):
+        f = UniformField(level=23.0)
+        pts = np.array([[0.0, 0.0], [5.0, 5.0], [100.0, -3.0]])
+        assert np.allclose(f.sample_at(pts, 0.0), 23.0)
+
+    def test_drift(self):
+        f = UniformField(level=20.0, drift_per_s=0.1)
+        assert f.value_at(np.array([1.0, 1.0]), 10.0) == pytest.approx(21.0)
+
+    def test_value_at_matches_sample_at(self):
+        f = UniformField(level=5.0)
+        assert f.value_at(np.array([3.0, 3.0]), 0.0) == pytest.approx(5.0)
+
+
+class TestHotspot:
+    def test_peak_at_center_after_saturation(self):
+        h = Hotspot(center=(10.0, 10.0), amplitude=100.0, sigma_m=5.0, growth_rate=10.0)
+        val = h.evaluate(np.array([[10.0, 10.0]]), t=100.0)
+        assert val[0] == pytest.approx(100.0, rel=1e-3)
+
+    def test_zero_before_ignition(self):
+        h = Hotspot(center=(0.0, 0.0), amplitude=100.0, sigma_m=5.0, t0=50.0)
+        assert h.evaluate(np.array([[0.0, 0.0]]), t=10.0)[0] == 0.0
+
+    def test_grows_monotonically(self):
+        h = Hotspot(center=(0.0, 0.0), amplitude=100.0, sigma_m=5.0, growth_rate=0.1)
+        pt = np.array([[0.0, 0.0]])
+        vals = [h.evaluate(pt, t)[0] for t in (0.0, 10.0, 50.0, 200.0)]
+        assert vals == sorted(vals)
+        assert vals[0] == 0.0
+
+    def test_decays_with_distance(self):
+        h = Hotspot(center=(0.0, 0.0), amplitude=100.0, sigma_m=5.0, growth_rate=10.0)
+        near = h.evaluate(np.array([[1.0, 0.0]]), 100.0)[0]
+        far = h.evaluate(np.array([[20.0, 0.0]]), 100.0)[0]
+        assert near > far > 0.0
+
+
+class TestHotspotField:
+    def test_background_plus_hotspots(self):
+        field = HotspotField(
+            background=20.0,
+            hotspots=[Hotspot(center=(0.0, 0.0), amplitude=10.0, sigma_m=1.0, growth_rate=100.0)],
+        )
+        assert field.value_at(np.array([0.0, 0.0]), 10.0) == pytest.approx(30.0, rel=1e-3)
+        assert field.value_at(np.array([100.0, 100.0]), 10.0) == pytest.approx(20.0)
+
+    def test_hotspots_superpose(self):
+        h = Hotspot(center=(0.0, 0.0), amplitude=10.0, sigma_m=1.0, growth_rate=100.0)
+        one = HotspotField(0.0, [h]).value_at(np.array([0.0, 0.0]), 10.0)
+        two = HotspotField(0.0, [h, h]).value_at(np.array([0.0, 0.0]), 10.0)
+        assert two == pytest.approx(2 * one)
+
+
+class TestFireField:
+    def test_ambient_far_from_seats_at_t0(self):
+        f = FireField(100.0, np.random.default_rng(0), n_seats=1)
+        assert f.value_at(np.array([0.0, 0.0]), 0.0) == pytest.approx(20.0, abs=5.0)
+
+    def test_heats_up_over_time(self):
+        f = FireField(100.0, np.random.default_rng(0), n_seats=2)
+        pts = np.array([[50.0, 50.0]])
+        early = f.sample_at(pts, 1.0)[0]
+        late = f.sample_at(pts, 300.0)[0]
+        assert late > early
+
+    def test_max_bounded_by_seats(self):
+        f = FireField(100.0, np.random.default_rng(0), n_seats=2, peak_c=800.0)
+        pts = np.random.default_rng(1).uniform(0, 100, size=(500, 2))
+        vals = f.sample_at(pts, 1000.0)
+        assert vals.max() <= 20.0 + 2 * 800.0 + 1e-6
+
+    def test_reproducible_from_seed(self):
+        a = FireField(100.0, np.random.default_rng(7))
+        b = FireField(100.0, np.random.default_rng(7))
+        pts = np.array([[30.0, 40.0], [60.0, 20.0]])
+        assert np.allclose(a.sample_at(pts, 50.0), b.sample_at(pts, 50.0))
+
+    def test_needs_a_seat(self):
+        with pytest.raises(ValueError):
+            FireField(100.0, np.random.default_rng(0), n_seats=0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=0, max_value=100), st.floats(min_value=0.0, max_value=1e4))
+    def test_never_below_ambient(self, seed, t):
+        f = FireField(100.0, np.random.default_rng(seed), n_seats=3)
+        pts = np.random.default_rng(seed + 1).uniform(0, 100, size=(50, 2))
+        assert (f.sample_at(pts, t) >= 20.0 - 1e-9).all()
+
+
+class TestPlumeField:
+    def test_peak_at_source_initially(self):
+        p = PlumeField(source=(50.0, 50.0))
+        pts = np.array([[50.0, 50.0], [80.0, 50.0]])
+        vals = p.sample_at(pts, 0.0)
+        assert vals[0] > vals[1]
+
+    def test_plume_advects_with_wind(self):
+        p = PlumeField(source=(0.0, 0.0), wind_m_s=(1.0, 0.0), half_life_s=1e9, spread_m_s=0.0)
+        downwind = np.array([[100.0, 0.0]])
+        assert p.sample_at(downwind, 100.0)[0] > p.sample_at(downwind, 0.0)[0]
+
+    def test_mass_decays(self):
+        p = PlumeField(source=(0.0, 0.0), wind_m_s=(0.0, 0.0), spread_m_s=0.0, half_life_s=100.0)
+        pt = np.array([[0.0, 0.0]])
+        assert p.sample_at(pt, 100.0)[0] == pytest.approx(0.5 * p.sample_at(pt, 0.0)[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlumeField(source=(0.0, 0.0), sigma0_m=0.0)
+        with pytest.raises(ValueError):
+            PlumeField(source=(0.0, 0.0), half_life_s=0.0)
+
+    def test_nonnegative_everywhere(self):
+        p = PlumeField(source=(10.0, 10.0))
+        pts = np.random.default_rng(0).uniform(-100, 100, size=(200, 2))
+        assert (p.sample_at(pts, 37.0) >= 0.0).all()

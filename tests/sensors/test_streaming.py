@@ -1,0 +1,120 @@
+"""Tests for sensor stream publish/subscribe agents."""
+
+import pytest
+
+from repro.agents import AgentPlatform
+from repro.sensors import SensorDeployment, UniformField
+from repro.sensors.streaming import SensorStreamAgent, StreamCollectorAgent
+from repro.simkernel import RandomStreams, Simulator
+
+
+def make_world(n=4, battery_j=1.0):
+    sim = Simulator()
+    dep = SensorDeployment(n, 10.0, UniformField(20.0), sim=sim,
+                           streams=RandomStreams(2), battery_j=battery_j,
+                           noise_std=0.0)
+    platform = AgentPlatform(sim)
+    return sim, dep, platform
+
+
+class TestStreaming:
+    def test_subscription_delivers_readings(self):
+        sim, dep, platform = make_world()
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("collector", batch_size=5)
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=1.0)
+        sim.run(until=10.5)
+        assert len(collector.readings) >= 9
+        assert all(r.sensor_id == 0 for r in collector.readings)
+        assert all(r.value == pytest.approx(20.0) for r in collector.readings)
+
+    def test_batch_callback_fires(self):
+        sim, dep, platform = make_world()
+        batches = []
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("c", batch_size=4, on_batch=batches.append)
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=1.0)
+        sim.run(until=9.0)
+        assert len(batches) == 2
+        assert all(len(b) == 4 for b in batches)
+
+    def test_unsubscribe_stops_publication(self):
+        sim, dep, platform = make_world()
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("c")
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=1.0)
+        sim.run(until=5.2)
+        count_at_unsub = len(collector.readings)
+        collector.unsubscribe_from("s0")
+        sim.run(until=20.0)
+        assert len(collector.readings) <= count_at_unsub + 1
+
+    def test_period_floor_enforced(self):
+        sim, dep, platform = make_world()
+        stream = SensorStreamAgent("s0", dep, sensor_id=0, min_period_s=2.0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("c")
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=0.01)  # too eager
+        sim.run(until=10.1)
+        assert len(collector.readings) <= 6
+
+    def test_publication_stops_when_sensor_dies(self):
+        sim, dep, platform = make_world(battery_j=3e-7)  # a few samples' worth
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("c")
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=1.0)
+        sim.run(until=100.0)
+        assert 0 < len(collector.readings) < 20
+        assert not dep.sensors[0].alive
+
+    def test_multiple_subscribers_independent_periods(self):
+        sim, dep, platform = make_world()
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        fast = StreamCollectorAgent("fast")
+        slow = StreamCollectorAgent("slow")
+        platform.register(fast)
+        platform.register(slow)
+        fast.subscribe_to("s0", period_s=1.0)
+        slow.subscribe_to("s0", period_s=5.0)
+        sim.run(until=20.5)
+        assert len(fast.readings) > 3 * len(slow.readings)
+
+    def test_sampling_pays_energy(self):
+        sim, dep, platform = make_world()
+        stream = SensorStreamAgent("s0", dep, sensor_id=0)
+        platform.register(stream)
+        collector = StreamCollectorAgent("c")
+        platform.register(collector)
+        collector.subscribe_to("s0", period_s=1.0)
+        sim.run(until=10.0)
+        assert dep.sensors[0].battery.consumed > 0
+
+    def test_validation(self):
+        sim, dep, platform = make_world()
+        with pytest.raises(ValueError):
+            SensorStreamAgent("s", dep, 0, min_period_s=0.0)
+        with pytest.raises(ValueError):
+            StreamCollectorAgent("c", batch_size=0)
+
+    def test_non_reading_informs_ignored(self):
+        sim, dep, platform = make_world()
+        collector = StreamCollectorAgent("c")
+        platform.register(collector)
+        from repro.agents import Agent, Performative
+
+        other = Agent("o")
+        platform.register(other)
+        other.ask("c", Performative.INFORM, {"kind": "noise"})
+        other.ask("c", Performative.INFORM, "text")
+        sim.run()
+        assert collector.readings == []

@@ -1,0 +1,213 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simkernel import Simulator, Process, Delay, Waiter, Interrupt
+from repro.simkernel.simulator import SimulationError
+
+
+def test_process_runs_delays_sequentially():
+    sim = Simulator()
+    log = []
+
+    def body():
+        log.append(("start", sim.now))
+        yield Delay(2.0)
+        log.append(("mid", sim.now))
+        yield Delay(3.0)
+        log.append(("end", sim.now))
+
+    Process(sim, body())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+        return 42
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.result == 42
+    assert not proc.alive
+
+
+def test_process_done_waiter_carries_result():
+    sim = Simulator()
+    seen = []
+
+    def worker():
+        yield Delay(1.0)
+        return "payload"
+
+    def watcher(target):
+        value = yield target.done
+        seen.append(value)
+
+    w = Process(sim, worker())
+    Process(sim, watcher(w))
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        yield Delay(5.0)
+        return "done"
+
+    def boss():
+        w = Process(sim, worker())
+        result = yield w
+        log.append((sim.now, result))
+
+    Process(sim, boss())
+    sim.run()
+    assert log == [(5.0, "done")]
+
+
+def test_waiter_blocks_until_trigger():
+    sim = Simulator()
+    gate = Waiter(sim)
+    log = []
+
+    def waiter_proc():
+        value = yield gate
+        log.append((sim.now, value))
+
+    Process(sim, waiter_proc())
+    sim.schedule(7.0, lambda: gate.trigger("opened"))
+    sim.run()
+    assert log == [(7.0, "opened")]
+
+
+def test_waiter_multiple_processes_resumed_in_order():
+    sim = Simulator()
+    gate = Waiter(sim)
+    log = []
+
+    def make(name):
+        def body():
+            yield gate
+            log.append(name)
+
+        return body
+
+    Process(sim, make("p1")())
+    Process(sim, make("p2")())
+    sim.schedule(1.0, lambda: gate.trigger())
+    sim.run()
+    assert log == ["p1", "p2"]
+
+
+def test_waiter_trigger_twice_is_error():
+    sim = Simulator()
+    gate = Waiter(sim)
+    gate.trigger()
+    with pytest.raises(SimulationError):
+        gate.trigger()
+
+
+def test_yield_on_already_triggered_waiter_resumes_immediately():
+    sim = Simulator()
+    gate = Waiter(sim)
+    gate.trigger("early")
+    log = []
+
+    def body():
+        yield Delay(3.0)
+        value = yield gate
+        log.append((sim.now, value))
+
+    Process(sim, body())
+    sim.run()
+    assert log == [(3.0, "early")]
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    log = []
+
+    def body():
+        try:
+            yield Delay(100.0)
+            log.append("not reached")
+        except Interrupt as exc:
+            log.append(("interrupted", sim.now, exc.cause))
+
+    proc = Process(sim, body())
+    sim.schedule(5.0, lambda: proc.interrupt("node-died"))
+    sim.run()
+    assert log == [("interrupted", 5.0, "node-died")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def body():
+        yield Delay(1.0)
+
+    proc = Process(sim, body())
+    sim.run()
+    assert not proc.alive
+    proc.interrupt("late")  # must not raise
+
+
+def test_uncaught_interrupt_terminates_process():
+    sim = Simulator()
+
+    def body():
+        yield Delay(100.0)
+
+    proc = Process(sim, body())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    sim.run()
+    assert not proc.alive
+    assert proc.result is None
+
+
+def test_interrupt_cancels_pending_delay():
+    sim = Simulator()
+    log = []
+
+    def body():
+        try:
+            yield Delay(100.0)
+        except Interrupt:
+            log.append(sim.now)
+
+    proc = Process(sim, body())
+    sim.schedule(2.0, lambda: proc.interrupt())
+    sim.run()
+    assert log == [2.0]
+    assert sim.now == 2.0  # the 100.0 delay never fires
+
+
+def test_yield_bad_command_raises():
+    sim = Simulator()
+
+    def body():
+        yield "nonsense"
+
+    Process(sim, body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_start_is_deferred():
+    sim = Simulator()
+    log = []
+
+    def body():
+        log.append(sim.now)
+        yield Delay(0.0)
+
+    Process(sim, body())
+    assert log == []  # nothing runs before sim.run()
+    sim.run()
+    assert log == [0.0]

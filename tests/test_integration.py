@@ -1,0 +1,140 @@
+"""End-to-end integration matrix: scenarios x policies x query classes.
+
+These tests exercise the whole stack together -- DES kernel, wireless
+substrate, sensors, grid, decision maker, query models -- the way a
+downstream user would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EstimateGreedyPolicy,
+    LearnedPolicy,
+    PervasiveGridRuntime,
+    StaticPolicy,
+)
+from repro.network.churn import ChurnProcess
+from repro.queries import QueryClass
+from repro.workloads import (
+    QueryWorkload,
+    defense_scenario,
+    fire_scenario,
+    health_scenario,
+    intrusion_scenario,
+)
+
+QUERIES = {
+    QueryClass.SIMPLE: "SELECT value FROM sensors WHERE sensor_id = 3",
+    QueryClass.AGGREGATE: "SELECT AVG(value) FROM sensors",
+    QueryClass.COMPLEX: "SELECT DISTRIBUTION(value) FROM sensors",
+    QueryClass.CONTINUOUS: "SELECT MAX(value) FROM sensors EPOCH DURATION 5 FOR 15",
+}
+
+
+def policies():
+    return [
+        EstimateGreedyPolicy(),
+        StaticPolicy("centralized"),
+        StaticPolicy("grid"),
+        LearnedPolicy(rng=np.random.default_rng(0)),
+    ]
+
+
+class TestPolicyByClassMatrix:
+    @pytest.mark.parametrize("qclass", list(QUERIES))
+    @pytest.mark.parametrize("policy_idx", range(4))
+    def test_every_policy_answers_every_class(self, qclass, policy_idx):
+        policy = policies()[policy_idx]
+        rt = PervasiveGridRuntime(n_sensors=16, area_m=30.0, seed=14,
+                                  policy=policy, grid_resolution=12,
+                                  noise_std=0.0)
+        outcomes = rt.query(QUERIES[qclass])
+        assert all(o.success for o in outcomes)
+        assert all(o.query_class is qclass for o in outcomes)
+
+
+class TestScenarioWorkloads:
+    @pytest.mark.parametrize("builder,seed", [
+        (fire_scenario, 21),
+        (health_scenario, 22),
+        (intrusion_scenario, 23),
+    ])
+    def test_mixed_workload_mostly_succeeds(self, builder, seed):
+        rt = builder(n_sensors=16, seed=seed, grid_resolution=12)
+        wl = QueryWorkload(rt.streams.get("itest"), n_sensors=16,
+                           mix=(0.3, 0.5, 0.2, 0.0), cost_prob=0.3)
+        ok = 0
+        for _ in range(15):
+            out = rt.query(wl.next_text())
+            ok += all(o.success for o in out)
+            rt.sim.run(until=rt.sim.now + 5.0)
+        assert ok >= 13
+
+    def test_defense_scenario_workload(self):
+        # random placement: partitions possible, so the bar is lower
+        rt = defense_scenario(n_sensors=25, seed=24, grid_resolution=12)
+        wl = QueryWorkload(rt.streams.get("itest"), n_sensors=25,
+                           mix=(0.3, 0.5, 0.2, 0.0), cost_prob=0.0)
+        ok = sum(all(o.success for o in rt.query(wl.next_text())) for _ in range(10))
+        assert ok >= 7
+
+
+class TestChurnIntegration:
+    def test_continuous_query_survives_churn(self):
+        rt = PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=15,
+                                  grid_resolution=12)
+        churn = ChurnProcess(
+            rt.sim, rt.deployment.topology,
+            nodes=rt.deployment.sensor_ids[::5],
+            rng=rt.streams.get("churn"),
+            mean_up_s=30.0, mean_down_s=10.0,
+        )
+        churn.start()
+        epochs = []
+        rt.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 5 FOR 100",
+                  lambda o: None, on_epoch=epochs.append)
+        rt.sim.run(until=150.0)
+        assert len(epochs) == 20
+        # churn may fail individual epochs, but most answer
+        assert sum(e.success for e in epochs) >= 15
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        rt = fire_scenario(n_sensors=16, seed=seed, grid_resolution=12)
+        wl = QueryWorkload(rt.streams.get("det"), n_sensors=16, mix=(0.3, 0.5, 0.2, 0.0))
+        trace = []
+        for _ in range(8):
+            out = rt.query(wl.next_text())
+            trace.append((out[0].model, out[0].time_s, out[0].energy_j,
+                          repr(out[0].value)[:40]))
+            rt.sim.run(until=rt.sim.now + 5.0)
+        return trace
+
+    def test_full_stack_bit_reproducible(self):
+        assert self._run(31) == self._run(31)
+
+    def test_different_seeds_differ(self):
+        assert self._run(31) != self._run(32)
+
+
+class TestRuntimeRobustness:
+    def test_query_timeout_raises(self):
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=1)
+        with pytest.raises(TimeoutError):
+            rt.query("SELECT AVG(value) FROM sensors EPOCH DURATION 100 FOR 1000",
+                     horizon_s=50.0)
+
+    def test_fully_dead_network_fails_cleanly(self):
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=1)
+        for sid in rt.deployment.sensor_ids:
+            rt.deployment.topology.kill(sid)
+        out = rt.query("SELECT AVG(value) FROM sensors")
+        assert not out[0].success
+
+    def test_single_sensor_network(self):
+        rt = PervasiveGridRuntime(n_sensors=1, area_m=5.0, seed=2, noise_std=0.0)
+        out = rt.query("SELECT value FROM sensors WHERE sensor_id = 0")
+        assert out[0].success
+        assert out[0].value == pytest.approx(20.0)

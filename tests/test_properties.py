@@ -1,0 +1,227 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each property here is an invariant the system's correctness rests on,
+checked over randomized inputs rather than hand-picked cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.discovery import (
+    SemanticMatcher,
+    ServiceDescription,
+    ServiceRequest,
+    build_service_ontology,
+)
+from repro.discovery.matcher import MatchDegree
+from repro.network import (
+    Battery,
+    Message,
+    RadioEnergyModel,
+    RadioModel,
+    Topology,
+    WirelessNetwork,
+)
+from repro.simkernel import Simulator
+
+ONT = build_service_ontology()
+SERVICE_CLASSES = sorted(ONT.descendants("Service"))
+
+
+class TestNetworkEnergyConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=12),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_battery_draws_equal_monitor_total(self, n, seed, n_msgs):
+        """Every joule the monitor counts is drawn from exactly one battery."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 40, size=(n, 2))
+        topo = Topology(pos, range_m=25.0)
+        sim = Simulator()
+        batteries = [Battery(10.0) for _ in range(n)]
+        net = WirelessNetwork(
+            sim, topo, RadioModel(bandwidth_bps=1e6, latency_s=0.01, range_m=25.0),
+            RadioEnergyModel(), batteries=batteries, rng=np.random.default_rng(seed),
+        )
+        for _ in range(n_msgs):
+            src, dst = rng.integers(0, n, size=2)
+            net.send(Message(src=int(src), dst=int(dst), size_bits=500.0))
+        sim.run()
+        drawn = sum(b.consumed for b in batteries)
+        counted = net.monitor.counter("net.energy_j").value
+        assert drawn == pytest.approx(counted, rel=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_receipt_time_never_before_send(self, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 30, size=(6, 2))
+        topo = Topology(pos, range_m=40.0)
+        sim = Simulator()
+        net = WirelessNetwork(sim, topo,
+                              RadioModel(bandwidth_bps=1e6, latency_s=0.01, range_m=40.0))
+        receipts = []
+        sent_at = sim.now
+        net.send(Message(src=0, dst=5, size_bits=100.0), receipts.append)
+        sim.run()
+        assert receipts[0].time >= sent_at
+
+
+class TestMatcherProperties:
+    @settings(max_examples=50)
+    @given(st.sampled_from(SERVICE_CLASSES), st.sampled_from(SERVICE_CLASSES))
+    def test_degree_consistent_with_subsumption(self, requested, advertised):
+        matcher = SemanticMatcher(ONT)
+        degree = matcher.category_degree(requested, advertised)
+        if requested == advertised:
+            assert degree is MatchDegree.EXACT
+        elif ONT.subsumes(requested, advertised):
+            assert degree is MatchDegree.PLUGIN
+        elif ONT.subsumes(advertised, requested):
+            assert degree is MatchDegree.SUBSUMES
+        else:
+            assert degree in (MatchDegree.OVERLAP, MatchDegree.FAIL)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.sampled_from(SERVICE_CLASSES), min_size=1, max_size=15),
+           st.sampled_from(SERVICE_CLASSES))
+    def test_rank_sorted_and_fail_free(self, categories, requested):
+        matcher = SemanticMatcher(ONT)
+        candidates = [
+            ServiceDescription(name=f"s{i}", category=c)
+            for i, c in enumerate(categories)
+        ]
+        ranked = matcher.rank(ServiceRequest(category=requested), candidates)
+        degrees = [int(r.degree) for r in ranked]
+        assert degrees == sorted(degrees, reverse=True)
+        assert all(r.degree is not MatchDegree.FAIL for r in ranked)
+        assert all(0.0 <= r.score <= 1.0 for r in ranked)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.sampled_from(SERVICE_CLASSES), min_size=1, max_size=10),
+           st.sampled_from(SERVICE_CLASSES), st.integers(min_value=1, max_value=5))
+    def test_top_k_is_prefix_of_full_ranking(self, categories, requested, k):
+        matcher = SemanticMatcher(ONT)
+        candidates = [ServiceDescription(name=f"s{i}", category=c)
+                      for i, c in enumerate(categories)]
+        req = ServiceRequest(category=requested)
+        full = [r.service.name for r in matcher.rank(req, candidates)]
+        top = [r.service.name for r in matcher.rank(req, candidates, top_k=k)]
+        assert top == full[:k]
+
+
+class TestTaskGraphProperties:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=500))
+    def test_random_dag_topological_order_valid(self, n, seed):
+        from repro.composition import TaskGraph, TaskSpec
+
+        rng = np.random.default_rng(seed)
+        g = TaskGraph()
+        for i in range(n):
+            g.add_task(TaskSpec(f"t{i}", "ComputeService"))
+        # random forward edges only (guaranteed acyclic)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.3:
+                    g.add_edge(f"t{i}", f"t{j}")
+        order = g.topological_order()
+        position = {name: k for k, name in enumerate(order)}
+        for name in order:
+            for succ in g.successors(name):
+                assert position[name] < position[succ]
+        # levels partition the tasks
+        level_names = [x for level in g.levels() for x in level]
+        assert sorted(level_names) == sorted(order)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=100))
+    def test_back_edge_always_rejected(self, n, seed):
+        from repro.composition import TaskGraph, TaskSpec
+
+        g = TaskGraph()
+        for i in range(n):
+            g.add_task(TaskSpec(f"t{i}", "X"))
+        for i in range(n - 1):
+            g.add_edge(f"t{i}", f"t{i+1}")
+        rng = np.random.default_rng(seed)
+        i = int(rng.integers(1, n))
+        j = int(rng.integers(0, i))
+        with pytest.raises(ValueError):
+            g.add_edge(f"t{i}", f"t{j}")
+
+
+class TestFourierProperties:
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=500))
+    def test_wht_linearity(self, d, seed):
+        from repro.datamining import walsh_hadamard
+
+        rng = np.random.default_rng(seed)
+        n = 2**d
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        alpha, beta = rng.normal(), rng.normal()
+        lhs = walsh_hadamard(alpha * a + beta * b)
+        rhs = alpha * walsh_hadamard(a) + beta * walsh_hadamard(b)
+        assert np.allclose(lhs, rhs)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=64))
+    def test_truncation_idempotent_and_energy_bounded(self, d, seed, k):
+        from repro.datamining import truncate_spectrum, walsh_hadamard
+
+        rng = np.random.default_rng(seed)
+        w = walsh_hadamard(rng.choice([-1.0, 1.0], size=2**d))
+        t = truncate_spectrum(w, k)
+        assert np.array_equal(truncate_spectrum(t, k), t)
+        assert np.sum(t**2) <= np.sum(w**2) + 1e-12
+        assert np.count_nonzero(t) <= k
+
+    @settings(max_examples=15)
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=200))
+    def test_full_spectrum_reconstruction_exact(self, d, seed):
+        from repro.datamining import FourierFunction, spectrum_of
+        from repro.datamining.fourier import all_inputs
+
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 2, size=2**d).astype(np.uint8)
+        X = all_inputs(d)
+
+        def predict(Xq):
+            weights = 1 << np.arange(d - 1, -1, -1, dtype=np.uint32)
+            idx = (np.asarray(Xq, dtype=np.uint32) @ weights).astype(np.intp)
+            return table[idx]
+
+        fn = FourierFunction(spectrum_of(predict, d), d)
+        assert np.array_equal(fn.predict(X), predict(X))
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+    def test_events_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=50.0),
+                              st.integers(min_value=0, max_value=3)),
+                    min_size=1, max_size=30))
+    def test_priority_respected_within_time(self, items):
+        sim = Simulator()
+        fired = []
+        for d, p in items:
+            sim.schedule(d, lambda d=d, p=p: fired.append((sim.now, p)), priority=p)
+        sim.run()
+        for (t1, p1), (t2, p2) in zip(fired, fired[1:]):
+            assert t1 < t2 or (t1 == t2 and p1 <= p2)

@@ -1,0 +1,64 @@
+"""Tests for the terminal rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import ascii_heatmap, format_table, sparkline
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        field = np.random.default_rng(0).random((30, 30))
+        out = ascii_heatmap(field, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_hot_spot_renders_hot(self):
+        field = np.zeros((20, 20))
+        field[10, 10] = 100.0
+        out = ascii_heatmap(field, width=20, height=20)
+        assert "@" in out
+        assert out.count("@") < 10  # localized
+
+    def test_constant_field_uniform(self):
+        out = ascii_heatmap(np.full((5, 5), 3.0), width=10, height=5)
+        assert len(set(out.replace("\n", ""))) == 1
+
+    def test_orientation_top_is_max_y(self):
+        field = np.zeros((10, 10))
+        field[:, -1] = 100.0  # hot along max-y edge
+        out = ascii_heatmap(field, width=10, height=10)
+        lines = out.splitlines()
+        assert lines[0].count("@") == 10  # top row hot
+        assert "@" not in lines[-1]
+
+    def test_explicit_scale(self):
+        out = ascii_heatmap(np.full((4, 4), 5.0), vmin=0.0, vmax=10.0,
+                            width=4, height=4)
+        # 5/10 -> middle of the ramp, not blank and not saturated
+        chars = set(out.replace("\n", ""))
+        assert chars.isdisjoint({" ", "@"})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(5))
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((3, 3)), width=0)
+
+
+class TestTableAndSparkline:
+    def test_format_table(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.5" in lines[2]
+
+    def test_sparkline_range(self):
+        s = sparkline([0, 1, 2, 3, 2, 1, 0])
+        assert len(s) == 7
+        assert s[3] == "█" and s[0] == "▁"
+
+    def test_sparkline_edge_cases(self):
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5, 5, 5]))) == 1

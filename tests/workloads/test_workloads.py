@@ -1,0 +1,153 @@
+"""Tests for query workloads, service populations and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.queries import QueryClass, classify
+from repro.workloads import (
+    QueryWorkload,
+    ServicePopulation,
+    defense_scenario,
+    fire_scenario,
+    health_scenario,
+)
+
+
+class TestQueryWorkload:
+    def make(self, seed=0, **kw):
+        return QueryWorkload(np.random.default_rng(seed), **kw)
+
+    def test_all_generated_queries_parse(self):
+        wl = self.make()
+        queries = wl.batch(100)
+        assert len(queries) == 100
+        assert wl.generated == 100
+
+    def test_mix_respected_roughly(self):
+        wl = self.make(mix=(1.0, 0.0, 0.0, 0.0))
+        classes = {classify(q) for q in wl.batch(30)}
+        assert classes == {QueryClass.SIMPLE}
+        wl2 = self.make(mix=(0.0, 0.0, 1.0, 0.0))
+        assert {classify(q) for q in wl2.batch(30)} == {QueryClass.COMPLEX}
+        wl3 = self.make(mix=(0.0, 0.0, 0.0, 1.0))
+        assert {classify(q) for q in wl3.batch(30)} == {QueryClass.CONTINUOUS}
+
+    def test_cost_clause_frequency(self):
+        wl = self.make(cost_prob=1.0, mix=(0.0, 1.0, 0.0, 0.0))
+        assert all(q.cost is not None for q in wl.batch(20))
+        wl0 = self.make(cost_prob=0.0, mix=(0.0, 1.0, 0.0, 0.0))
+        assert all(q.cost is None for q in wl0.batch(20))
+
+    def test_reproducible(self):
+        a = [q.raw for q in self.make(seed=3).batch(20)]
+        b = [q.raw for q in self.make(seed=3).batch(20)]
+        assert a == b
+
+    def test_sensor_ids_in_range(self):
+        wl = self.make(mix=(1.0, 0, 0, 0), n_sensors=10)
+        for q in wl.batch(30):
+            assert 0 <= q.where[0].value < 10
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            QueryWorkload(rng, n_sensors=0)
+        with pytest.raises(ValueError):
+            QueryWorkload(rng, mix=(0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            QueryWorkload(rng, cost_prob=2.0)
+        with pytest.raises(ValueError):
+            self.make().batch(0)
+
+
+class TestServicePopulation:
+    def test_generate_valid_descriptions(self):
+        pop = ServicePopulation(np.random.default_rng(0))
+        services = pop.generate(50)
+        assert len(services) == 50
+        names = [s.description.name for s in services]
+        assert len(set(names)) == 50  # unique names
+        for s in services:
+            assert s.description.interfaces == (s.category,)
+            assert "class_uuid" in s.description.attributes
+
+    def test_fixed_category(self):
+        pop = ServicePopulation(np.random.default_rng(0))
+        s = pop.generate_one("ColorPrinterService")
+        assert s.category == "ColorPrinterService"
+        assert s.description.attributes["color"] is True
+
+    def test_printers_have_printer_attributes(self):
+        pop = ServicePopulation(np.random.default_rng(1))
+        printers = [s for s in pop.generate(100) if "Printer" in s.category]
+        assert printers
+        for p in printers:
+            assert "cost_per_page" in p.description.attributes
+            assert "queue_length" in p.description.attributes
+
+    def test_class_uuid_shared_within_category(self):
+        pop = ServicePopulation(np.random.default_rng(2))
+        a = pop.generate_one("PrinterService")
+        b = pop.generate_one("PrinterService")
+        assert (a.description.attributes["class_uuid"]
+                == b.description.attributes["class_uuid"]
+                == ServicePopulation.class_uuid("PrinterService"))
+
+    def test_host_node_assignment(self):
+        pop = ServicePopulation(np.random.default_rng(3), host_nodes=[5, 6])
+        services = pop.generate(20)
+        assert all(s.description.host_node in (5, 6) for s in services)
+
+    def test_reproducible(self):
+        a = [s.description.name for s in ServicePopulation(np.random.default_rng(4)).generate(10)]
+        b = [s.description.name for s in ServicePopulation(np.random.default_rng(4)).generate(10)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServicePopulation(np.random.default_rng(0)).generate(0)
+
+
+class TestScenarios:
+    def test_fire_scenario_answers_queries(self):
+        rt = fire_scenario(n_sensors=16, area_m=30.0, seed=1, grid_resolution=16)
+        rt.sim.run(until=120.0)  # let the fire grow
+        out = rt.query("SELECT MAX(value) FROM sensors")
+        assert out[0].success
+        assert out[0].value > 30.0  # hotter than ambient somewhere
+
+    def test_health_scenario_plume_visible(self):
+        rt = health_scenario(n_sensors=16, seed=2, grid_resolution=16)
+        out = rt.query("SELECT MAX(value) FROM sensors")
+        assert out[0].success
+        assert out[0].value > 0.0
+
+    def test_defense_scenario_random_placement(self):
+        rt = defense_scenario(n_sensors=25, seed=3, grid_resolution=16)
+        pos = rt.deployment.topology.positions[:25]
+        # random placement: not a lattice
+        assert len(np.unique(pos[:, 0])) > 5
+        out = rt.query("SELECT COUNT(value) FROM sensors")
+        assert out[0].success
+
+    def test_scenarios_reproducible(self):
+        a = fire_scenario(n_sensors=9, seed=7).deployment.field.hotspots[0].center
+        b = fire_scenario(n_sensors=9, seed=7).deployment.field.hotspots[0].center
+        assert a == b
+
+    def test_intrusion_scenario_detects_outbreak(self):
+        from repro.workloads import intrusion_scenario
+
+        rt = intrusion_scenario(n_sensors=16, seed=4, grid_resolution=16)
+        baseline = rt.query("SELECT MAX(value) FROM sensors")[0].value
+        rt.sim.run(until=600.0)  # all attacks have flared by now
+        outbreak = rt.query("SELECT MAX(value) FROM sensors")[0].value
+        assert baseline < 10.0
+        assert outbreak > 20.0
+
+    def test_intrusion_scenario_reproducible(self):
+        from repro.workloads import intrusion_scenario
+
+        a = intrusion_scenario(n_sensors=9, seed=6).deployment.field.hotspots[0].t0
+        b = intrusion_scenario(n_sensors=9, seed=6).deployment.field.hotspots[0].t0
+        assert a == b
