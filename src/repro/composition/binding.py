@@ -44,22 +44,42 @@ class Binder:
         self.registry = registry
         self.bind_count = 0
 
-    def bind_task(self, task: TaskSpec, exclude: set[str] | None = None) -> Binding:
-        """Bind one task; ``exclude`` names services to avoid (failed ones).
+    def bind_task(
+        self,
+        task: TaskSpec,
+        exclude: set[str] | None = None,
+        exclude_providers: set[str] | None = None,
+    ) -> Binding:
+        """Bind one task; ``exclude`` names services to avoid (failed
+        ones), ``exclude_providers`` names host agents to avoid (e.g.
+        providers whose circuit breaker is open).
 
         Raises :class:`BindingError` when nothing matches.
         """
         self.bind_count += 1
         matches = self.registry.search(task.to_request())
         exclude = exclude or set()
+        exclude_providers = exclude_providers or set()
         for match in matches:
-            if match.service.name not in exclude and match.service.provider:
+            if match.service.name in exclude:
+                continue
+            if match.service.provider in exclude_providers:
+                continue
+            if match.service.provider:
                 return Binding(task=task, match=match)
         raise BindingError(f"no service for task {task.name!r} (category {task.category!r})")
 
-    def bind_graph(self, graph: TaskGraph, exclude: set[str] | None = None) -> dict[str, Binding]:
+    def bind_graph(
+        self,
+        graph: TaskGraph,
+        exclude: set[str] | None = None,
+        exclude_providers: set[str] | None = None,
+    ) -> dict[str, Binding]:
         """Bind every task; raises on the first unbindable task."""
-        return {task.name: self.bind_task(task, exclude) for task in graph.tasks()}
+        return {
+            task.name: self.bind_task(task, exclude, exclude_providers)
+            for task in graph.tasks()
+        }
 
     def total_advertised_cost(self, bindings: dict[str, Binding]) -> float:
         """Sum of the bound services' advertised costs (optimization metric)."""

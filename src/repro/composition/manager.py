@@ -38,6 +38,7 @@ from repro.agents.agent import Agent
 from repro.agents.attributes import AgentAttributes, AgentRole
 from repro.composition.binding import Binder, Binding, BindingError
 from repro.composition.task import TaskGraph
+from repro.resilience import BreakerBoard
 from repro.simkernel import Simulator
 
 _comp_ids = itertools.count()
@@ -115,6 +116,13 @@ class CompositionManager(Agent):
         Additional attempts after the first.
     role_card_bits:
         Wire size of the distributed-mode control messages.
+    breakers:
+        Optional per-provider circuit-breaker board.  When present, every
+        (re)bind avoids providers whose breaker is open, timeouts feed
+        failures into the suspects' breakers, and successful completions
+        feed successes into every bound provider's breaker -- so the
+        manager stops re-binding to flapping hosts instead of paying a
+        full timeout per flap.
     """
 
     def __init__(
@@ -126,6 +134,7 @@ class CompositionManager(Agent):
         timeout_s: float = 30.0,
         max_retries: int = 2,
         role_card_bits: float = 256.0,
+        breakers: BreakerBoard | None = None,
     ) -> None:
         super().__init__(name, AgentAttributes.of(AgentRole.COMPOSER))
         if mode not in ("centralized", "distributed"):
@@ -138,6 +147,7 @@ class CompositionManager(Agent):
         self.timeout_s = timeout_s
         self.max_retries = max_retries
         self.role_card_bits = role_card_bits
+        self.breakers = breakers
         self._active: dict[str, _Attempt] = {}
         self.completed = 0
         self.failed = 0
@@ -164,7 +174,7 @@ class CompositionManager(Agent):
         comp_id = f"comp-{next(_comp_ids)}"
         started = self.sim.now
         try:
-            bound = bindings if bindings is not None else self.binder.bind_graph(graph)
+            bound = bindings if bindings is not None else self._bind(graph, set())
         except BindingError:
             self.failed += 1
             on_complete(CompositionResult(False, {}, 0.0, 1, 0, self.mode))
@@ -219,6 +229,9 @@ class CompositionManager(Agent):
         result._completeness = len(outputs) / len(sinks) if sinks else 0.0
         if success:
             self.completed += 1
+            if self.breakers is not None:
+                for binding in attempt.bindings.values():
+                    self.breakers.record_success(binding.provider)
         else:
             self.failed += 1
         attempt.on_complete(result)
@@ -227,7 +240,14 @@ class CompositionManager(Agent):
         attempt = self._active.get(comp_id)
         if attempt is None or attempt.finished:
             return
-        self._retry(attempt, exclude=self._suspect_services(attempt))
+        suspects = self._suspect_services(attempt)
+        if self.breakers is not None:
+            suspect_providers = {
+                b.provider for b in attempt.bindings.values() if b.service_name in suspects
+            }
+            for provider in suspect_providers:
+                self.breakers.record_failure(provider)
+        self._retry(attempt, exclude=suspects)
 
     def _suspect_services(self, attempt: _Attempt) -> set[str]:
         """Services plausibly responsible for the timed-out attempt.
@@ -245,6 +265,22 @@ class CompositionManager(Agent):
             if t not in attempt.done_tasks
         }
 
+    def _bind(self, graph: TaskGraph, blacklist: set[str]) -> dict[str, Binding]:
+        """Bind honoring the blacklist and any open circuit breakers.
+
+        The breaker exclusion is best-effort: when it (alone or combined
+        with the blacklist) makes the graph unbindable, it is dropped --
+        a provider behind an open breaker is still better than no
+        provider at all.
+        """
+        blocked = self.breakers.blocked_providers() if self.breakers is not None else set()
+        if not blocked:
+            return self.binder.bind_graph(graph, exclude=blacklist)
+        try:
+            return self.binder.bind_graph(graph, exclude=blacklist, exclude_providers=blocked)
+        except BindingError:
+            return self.binder.bind_graph(graph, exclude=blacklist)
+
     def _retry(self, attempt: _Attempt, exclude: set[str]) -> None:
         if attempt.attempts > self.max_retries:
             self._finish(attempt, success=False)
@@ -252,14 +288,14 @@ class CompositionManager(Agent):
         attempt.blacklist |= exclude
         old = {t: b.service_name for t, b in attempt.bindings.items()}
         try:
-            attempt.bindings = self.binder.bind_graph(attempt.graph, exclude=attempt.blacklist)
+            attempt.bindings = self._bind(attempt.graph, attempt.blacklist)
         except BindingError:
             # blacklist exhausted the pool: forget it and take whatever is
             # still advertised (churned-away hosts are gone from the
             # registry anyway)
             attempt.blacklist.clear()
             try:
-                attempt.bindings = self.binder.bind_graph(attempt.graph)
+                attempt.bindings = self._bind(attempt.graph, attempt.blacklist)
             except BindingError:
                 self._finish(attempt, success=False)
                 return

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 from repro.agents.acl import ACLMessage, Performative
 from repro.agents.agent import Agent
 from repro.agents.attributes import AgentAttributes, AgentRole
@@ -28,6 +30,7 @@ from repro.composition.binding import Binding
 from repro.composition.manager import CompositionManager, CompositionResult
 from repro.composition.planner import HTNPlanner, PlanningError
 from repro.composition.task import TaskGraph
+from repro.resilience import Hedge, RetryPolicy
 
 
 class _ComposerBase(Agent):
@@ -35,8 +38,23 @@ class _ComposerBase(Agent):
 
     Discovery runs over the (possibly lossy, possibly partitioned)
     network, so it is guarded by ``discovery_timeout_s``: if the broker's
-    replies do not all arrive in time, the composition attempt fails
-    cleanly instead of waiting forever.
+    replies do not all arrive in time, the discovery attempt fails.  With
+    a :class:`~repro.resilience.RetryPolicy` attached the failure is
+    retried with exponential backoff (instead of single-shot giving up);
+    with a :class:`~repro.resilience.Hedge` attached, unanswered task
+    queries are duplicated to the broker after the hedge delay and the
+    first usable reply per task wins -- tail tolerance against lossy
+    links.
+
+    Parameters
+    ----------
+    retry:
+        Backoff policy for whole-discovery retries (None = single shot).
+    hedge:
+        Duplicate-query policy within one attempt (None = no hedging).
+    rng:
+        Jitter source for the retry backoff; None keeps deterministic
+        (ceiling) delays.
     """
 
     def __init__(
@@ -46,6 +64,9 @@ class _ComposerBase(Agent):
         manager: CompositionManager,
         broker: str,
         discovery_timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        hedge: Hedge | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(name, AgentAttributes.of(AgentRole.COMPOSER))
         if discovery_timeout_s <= 0:
@@ -54,6 +75,11 @@ class _ComposerBase(Agent):
         self.manager = manager
         self.broker = broker
         self.discovery_timeout_s = discovery_timeout_s
+        self.retry = retry
+        self.hedge = hedge
+        self.rng = rng
+        self.discovery_retries = 0
+        self.hedged_queries = 0
         self._pending: dict[str, dict] = {}  # conversation id -> discovery context
 
     def setup(self) -> None:
@@ -67,53 +93,111 @@ class _ComposerBase(Agent):
         on_bound: typing.Callable[[dict[str, Binding] | None], None],
     ) -> None:
         """Query the broker for every task; callback with bindings or None."""
-        tasks = graph.tasks()
-        context = {"graph": graph, "needed": len(tasks), "bindings": {}, "on_bound": on_bound, "failed": False}
-        if not tasks:
+        if not graph.tasks():
             on_bound({})
             return
-        conv_ids = []
-        for task in tasks:
+        self._discover_attempt(graph, on_bound, attempt=1,
+                               started=self.manager.sim.now, prev_delay=None)
+
+    def _discover_attempt(
+        self,
+        graph: TaskGraph,
+        on_bound: typing.Callable[[dict[str, Binding] | None], None],
+        attempt: int,
+        started: float,
+        prev_delay: float | None,
+    ) -> None:
+        sim = self.manager.sim
+        tasks = graph.tasks()
+        context: dict = {"needed": len(tasks), "bindings": {}, "done": False}
+        conv_ids: list[str] = []
+
+        def settle(bindings: dict[str, Binding] | None) -> None:
+            context["done"] = True
+            for cid in conv_ids:
+                self._pending.pop(cid, None)
+            on_bound(bindings)
+
+        def fail() -> None:
+            if context["done"]:
+                return
+            next_attempt = attempt + 1
+            elapsed = sim.now - started
+            if self.retry is None or not self.retry.allows(next_attempt, elapsed):
+                settle(None)
+                return
+            delay = self.retry.next_delay(next_attempt, self.rng, prev_delay)
+            context["done"] = True
+            for cid in conv_ids:
+                self._pending.pop(cid, None)
+            self.discovery_retries += 1
+            sim.schedule(
+                delay,
+                lambda: self._discover_attempt(graph, on_bound, next_attempt, started, delay),
+                label=f"discovery-retry:{self.name}",
+            )
+
+        context["fail"] = fail
+        context["settle"] = settle
+
+        def query(task) -> None:
             msg = self.ask(self.broker, Performative.QUERY, task.to_request())
             self._pending[msg.conversation_id] = {"context": context, "task": task}
             conv_ids.append(msg.conversation_id)
 
-        def on_timeout() -> None:
-            if context["failed"] or len(context["bindings"]) == context["needed"]:
-                return
-            context["failed"] = True
-            for cid in conv_ids:
-                self._pending.pop(cid, None)
-            context["on_bound"](None)
+        for task in tasks:
+            query(task)
 
-        self.manager.sim.schedule(self.discovery_timeout_s, on_timeout,
-                                  label=f"discovery-timeout:{self.name}")
+        if self.hedge is not None:
+            def launch_hedges(wave: int) -> None:
+                if context["done"]:
+                    return
+                unanswered = [t for t in tasks if t.name not in context["bindings"]]
+                if not unanswered:
+                    return
+                for task in unanswered:
+                    query(task)
+                    self.hedged_queries += 1
+                if wave < self.hedge.max_hedges:
+                    sim.schedule(self.hedge.delay_s, lambda: launch_hedges(wave + 1),
+                                 label=f"discovery-hedge:{self.name}")
+
+            sim.schedule(self.hedge.delay_s, lambda: launch_hedges(1),
+                         label=f"discovery-hedge:{self.name}")
+
+        def on_timeout() -> None:
+            if context["done"]:
+                return
+            fail()
+
+        sim.schedule(self.discovery_timeout_s, on_timeout,
+                     label=f"discovery-timeout:{self.name}")
 
     def _handle_inform(self, msg: ACLMessage) -> None:
         entry = self._pending.pop(msg.in_reply_to or "", None)
         if entry is None:
             return
         context, task = entry["context"], entry["task"]
-        if context["failed"]:
+        if context["done"]:
             return
+        if task.name in context["bindings"]:
+            return  # a hedged duplicate already answered this task
         matches = msg.content if isinstance(msg.content, list) else []
         usable = [m for m in matches if m.service.provider]
         if not usable:
-            context["failed"] = True
-            context["on_bound"](None)
+            context["fail"]()
             return
         context["bindings"][task.name] = Binding(task=task, match=usable[0])
         if len(context["bindings"]) == context["needed"]:
-            context["on_bound"](context["bindings"])
+            context["settle"](context["bindings"])
 
     def _handle_failure(self, msg: ACLMessage) -> None:
         entry = self._pending.pop(msg.in_reply_to or "", None)
         if entry is None:
             return
         context = entry["context"]
-        if not context["failed"]:
-            context["failed"] = True
-            context["on_bound"](None)
+        if not context["done"]:
+            context["fail"]()
 
 
 class ReactiveComposer(_ComposerBase):
@@ -152,8 +236,9 @@ class ProactiveComposer(_ComposerBase):
     repopulates the cache.
     """
 
-    def __init__(self, name: str, planner: HTNPlanner, manager: CompositionManager, broker: str) -> None:
-        super().__init__(name, planner, manager, broker)
+    def __init__(self, name: str, planner: HTNPlanner, manager: CompositionManager,
+                 broker: str, **kwargs) -> None:
+        super().__init__(name, planner, manager, broker, **kwargs)
         self._cache: dict[str, tuple[TaskGraph, dict[str, Binding]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0

@@ -97,6 +97,33 @@ class PervasiveGridRuntime:
         self.platform.register(self.broker)
 
     # ------------------------------------------------------------------
+    def fault_injector(self) -> "FaultInjector":
+        """A :class:`~repro.faults.FaultInjector` wired to this runtime.
+
+        The fault domain spans the whole stack: the deployment's topology
+        and network, the grid uplink, and the radio holders the cost
+        estimators read.  Nodes taken down by faults have their service
+        advertisements withdrawn from the discovery registry, exactly as
+        churn does.
+        """
+        from repro.faults import FaultDomain, FaultInjector
+
+        def on_node_change(node: int, up: bool) -> None:
+            if not up:
+                self.registry.withdraw_host(node)
+
+        domain = FaultDomain(
+            sim=self.sim,
+            monitor=self.deployment.monitor,
+            topology=self.deployment.topology,
+            network=self.deployment.network,
+            uplink=self.grid.uplink,
+            radio_holders=(self.deployment,),
+            on_node_change=on_node_change,
+        )
+        return FaultInjector(domain)
+
+    # ------------------------------------------------------------------
     def submit(
         self,
         query_text: str,

@@ -1,0 +1,36 @@
+"""Scripted fault injection for resilience experiments.
+
+The paper argues a pervasive grid must tolerate services "coming up and
+going down frequently" (§3).  This package turns that claim into
+controlled experiments: deterministic, named-RNG fault schedules of
+correlated failures (node crashes, regional blackouts, radio
+degradation, WAN backhaul outages, network partitions) injected into a
+running simulation, with every transition recorded in the run's
+``Monitor``.
+"""
+
+from repro.faults.faults import (
+    Fault,
+    FaultDomain,
+    FaultEvent,
+    LinkDegradation,
+    NodeCrash,
+    Partition,
+    RegionBlackout,
+    UplinkOutage,
+)
+from repro.faults.injector import FaultInjector, crash_schedule, flapping_schedule
+
+__all__ = [
+    "Fault",
+    "FaultDomain",
+    "FaultEvent",
+    "FaultInjector",
+    "LinkDegradation",
+    "NodeCrash",
+    "Partition",
+    "RegionBlackout",
+    "UplinkOutage",
+    "crash_schedule",
+    "flapping_schedule",
+]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.simkernel import Simulator
@@ -53,7 +54,13 @@ class GridInfrastructure:
         return self.uplink.online
 
     def estimate_offload_time(self, job: ComputeJob) -> float:
-        """Predicted upload + queue + compute + download time for ``job``."""
+        """Predicted upload + queue + compute + download time for ``job``.
+
+        ``math.inf`` during an uplink outage -- planners comparing
+        offload against local execution then never pick the grid.
+        """
+        if not self.uplink.online:
+            return math.inf
         upload = self.uplink.transfer_time(job.input_bits)
         compute = self.scheduler.estimate_turnaround(job)
         download = self.uplink.transfer_time(job.output_bits)
@@ -63,11 +70,36 @@ class GridInfrastructure:
         self,
         job: ComputeJob,
         on_complete: typing.Callable[[JobResult], None] | None = None,
+        on_failure: typing.Callable[[str], None] | None = None,
+        max_attempts: int = 1,
     ) -> None:
-        """Run ``job`` on the grid: upload, execute, download, callback."""
+        """Run ``job`` on the grid: upload, execute, download, callback.
+
+        Failures (uplink offline at either transfer leg, or the job
+        failing on-site with attempts exhausted) invoke ``on_failure``
+        with a reason tag; without an ``on_failure`` the uplink's
+        ``RuntimeError`` propagates as before.  ``max_attempts`` enables
+        checkpointed re-submission across sites (see
+        :meth:`GridScheduler.submit`).
+        """
+
+        def leg(bits: float, then: typing.Callable[[], None]) -> None:
+            if not self.uplink.online and not self.uplink.queue_when_offline:
+                if on_failure is None:
+                    raise RuntimeError("uplink is offline")
+                on_failure("uplink-offline")
+                return
+            self.uplink.transfer(bits, then)
 
         def after_upload() -> None:
             def after_compute(result: JobResult) -> None:
+                if not result.success:
+                    if on_failure is not None:
+                        on_failure(result.error or "job-failed")
+                    elif on_complete is not None:
+                        on_complete(result)
+                    return
+
                 def after_download() -> None:
                     if on_complete is not None:
                         # re-stamp finish time to include the download leg
@@ -82,11 +114,11 @@ class GridInfrastructure:
                             )
                         )
 
-                self.uplink.transfer(job.output_bits, after_download)
+                leg(job.output_bits, after_download)
 
-            self.scheduler.submit(job, after_compute)
+            self.scheduler.submit(job, after_compute, max_attempts=max_attempts)
 
-        self.uplink.transfer(job.input_bits, after_upload)
+        leg(job.input_bits, after_upload)
 
     def fastest_rate(self) -> float:
         """ops/second of the fastest site (used by cost estimators)."""

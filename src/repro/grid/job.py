@@ -26,6 +26,10 @@ class ComputeJob:
         timing comes from the cost model.
     name:
         Human-readable tag.
+    checkpoint_fraction:
+        Fraction of ``ops`` already completed and durably checkpointed.
+        A site that fails mid-service advances this before reporting
+        failure, so a re-submission only pays for the remaining work.
     """
 
     ops: float
@@ -34,10 +38,18 @@ class ComputeJob:
     compute: typing.Callable[[], typing.Any] | None = None
     name: str = ""
     job_id: int = dataclasses.field(default_factory=lambda: next(_job_ids))
+    checkpoint_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.ops < 0 or self.input_bits < 0 or self.output_bits < 0:
             raise ValueError("ops and bit counts must be non-negative")
+        if not 0.0 <= self.checkpoint_fraction <= 1.0:
+            raise ValueError("checkpoint_fraction must be in [0, 1]")
+
+    @property
+    def remaining_ops(self) -> float:
+        """Operations still to run past the last checkpoint."""
+        return self.ops * (1.0 - self.checkpoint_fraction)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,6 +66,11 @@ class JobResult:
         Queueing timeline in virtual time.
     resource:
         Name of the site that ran the job.
+    success:
+        False when the site failed mid-service (the job may be
+        re-submitted; its ``checkpoint_fraction`` has been advanced).
+    error:
+        Failure reason tag ("" on success).
     """
 
     job_id: int
@@ -62,6 +79,8 @@ class JobResult:
     started_at: float
     finished_at: float
     resource: str
+    success: bool = True
+    error: str = ""
 
     @property
     def queue_wait_s(self) -> float:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 from repro.simkernel import Simulator
 from repro.grid.job import ComputeJob, JobResult
 
@@ -23,16 +25,39 @@ class GridResource:
         Site name (appears in :class:`~repro.grid.job.JobResult`).
     ops_per_second:
         Effective throughput.
+    fail_prob:
+        Probability a job fails mid-service at this site.  A failing job
+        runs for a uniform fraction of its service time, durably
+        checkpoints the work done (advancing ``job.checkpoint_fraction``)
+        and reports ``JobResult(success=False, error="site-failure")`` --
+        the scheduler's re-submission path picks it up from there.
+    rng:
+        Failure-draw generator; required when ``fail_prob > 0`` (draw it
+        from a named stream so failures are reproducible).
     """
 
-    def __init__(self, sim: Simulator, name: str, ops_per_second: float) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ops_per_second: float,
+        fail_prob: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
         if ops_per_second <= 0:
             raise ValueError("ops_per_second must be positive")
+        if not 0.0 <= fail_prob < 1.0:
+            raise ValueError("fail_prob must be in [0, 1)")
+        if fail_prob > 0.0 and rng is None:
+            raise ValueError("fail_prob > 0 requires an rng for reproducible draws")
         self.sim = sim
         self.name = name
         self.ops_per_second = float(ops_per_second)
+        self.fail_prob = float(fail_prob)
+        self.rng = rng
         self._free_at = sim.now
         self.jobs_completed = 0
+        self.jobs_failed = 0
         self.busy_seconds = 0.0
 
     @property
@@ -46,8 +71,8 @@ class GridResource:
         return max(self._free_at - self.sim.now, 0.0)
 
     def service_time(self, job: ComputeJob) -> float:
-        """Execution time for ``job`` on this site (excludes queueing)."""
-        return job.ops / self.ops_per_second
+        """Execution time for ``job``'s remaining work (excludes queueing)."""
+        return job.remaining_ops / self.ops_per_second
 
     def estimate_turnaround(self, job: ComputeJob) -> float:
         """Queue wait + service time if submitted now."""
@@ -61,11 +86,44 @@ class GridResource:
         """Enqueue ``job``; returns its predicted finish time.
 
         ``on_complete`` fires (with the :class:`JobResult`) when the job
-        finishes; the job's ``compute`` callable runs at that moment.
+        finishes or fails; the job's ``compute`` callable runs only on
+        success.  A mid-service failure occupies the site for the partial
+        service time, checkpoints the completed fraction on the job, and
+        reports ``success=False``.
         """
         submitted = self.sim.now
         started = self.free_at
         service = self.service_time(job)
+        fails = self.fail_prob > 0.0 and float(self.rng.random()) < self.fail_prob
+        if fails:
+            # dies a uniform way through the remaining work; everything up
+            # to that point is checkpointed
+            progress = float(self.rng.uniform(0.0, 1.0))
+            service *= progress
+            finished = started + service
+            self._free_at = finished
+            self.busy_seconds += service
+
+            def fail() -> None:
+                job.checkpoint_fraction += (1.0 - job.checkpoint_fraction) * progress
+                self.jobs_failed += 1
+                if on_complete is not None:
+                    on_complete(
+                        JobResult(
+                            job_id=job.job_id,
+                            value=None,
+                            submitted_at=submitted,
+                            started_at=started,
+                            finished_at=finished,
+                            resource=self.name,
+                            success=False,
+                            error="site-failure",
+                        )
+                    )
+
+            self.sim.schedule(finished - submitted, fail, label=f"job:{job.job_id}:fail")
+            return finished
+
         finished = started + service
         self._free_at = finished
         self.busy_seconds += service

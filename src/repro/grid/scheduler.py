@@ -13,7 +13,12 @@ class GridScheduler:
 
     This is the classic MCT (minimum completion time) heuristic used by
     grid metaschedulers of the paper's era; it is deterministic (ties
-    broken by registration order).
+    broken by registration order).  When sites can fail
+    (``GridResource(fail_prob=...)``), ``submit(max_attempts=n)`` re-runs
+    a failed job from its checkpoint on the next-best site, excluding
+    sites that already failed it (until every site has, at which point
+    the exclusion resets -- a site that failed once is better than no
+    site).
     """
 
     def __init__(self, resources: list[GridResource]) -> None:
@@ -21,10 +26,16 @@ class GridScheduler:
             raise ValueError("scheduler needs at least one resource")
         self.resources = list(resources)
         self.dispatched = 0
+        self.resubmissions = 0
 
-    def best_resource(self, job: ComputeJob) -> GridResource:
-        """The site minimizing queue-wait + service time for ``job``."""
-        return min(self.resources, key=lambda r: r.estimate_turnaround(job))
+    def best_resource(self, job: ComputeJob, exclude: set[str] = frozenset()) -> GridResource:
+        """The site minimizing queue-wait + service time for ``job``.
+
+        ``exclude`` removes named sites from consideration; if that
+        empties the pool, the full pool is used instead.
+        """
+        pool = [r for r in self.resources if r.name not in exclude] or self.resources
+        return min(pool, key=lambda r: r.estimate_turnaround(job))
 
     def estimate_turnaround(self, job: ComputeJob) -> float:
         """Turnaround of ``job`` on the best site, if submitted now."""
@@ -34,9 +45,33 @@ class GridScheduler:
         self,
         job: ComputeJob,
         on_complete: typing.Callable[[JobResult], None] | None = None,
+        max_attempts: int = 1,
     ) -> GridResource:
-        """Dispatch ``job`` to the best site; returns the chosen site."""
-        resource = self.best_resource(job)
-        resource.submit(job, on_complete)
+        """Dispatch ``job`` to the best site; returns the chosen site.
+
+        With ``max_attempts > 1``, a failed attempt re-submits the
+        checkpointed job to the next-best site (skipping sites that
+        already failed it) until it succeeds or attempts run out; only
+        the final :class:`JobResult` reaches ``on_complete``.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+        def attempt(n: int, failed_sites: set[str]) -> GridResource:
+            resource = self.best_resource(job, exclude=failed_sites)
+
+            def done(result: JobResult) -> None:
+                if result.success or n >= max_attempts:
+                    if on_complete is not None:
+                        on_complete(result)
+                    return
+                failed_sites.add(result.resource)
+                self.resubmissions += 1
+                attempt(n + 1, failed_sites)
+
+            resource.submit(job, done)
+            return resource
+
+        first = attempt(1, set())
         self.dispatched += 1
-        return resource
+        return first

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import math
 import typing
+
 
 from repro.simkernel import Simulator
 
@@ -15,15 +17,31 @@ class Uplink:
     that shipping raw sensor streams can exceed "the capacity of the
     wireless connections" and the base station's uplink.
 
+    Availability is first-class: :attr:`online` may be toggled directly
+    or via :meth:`set_online` (the fault layer drives outage windows
+    through it), subscribers registered with :meth:`subscribe` observe
+    every edge, and with ``queue_when_offline=True`` transfers submitted
+    during an outage are deferred and drained on recovery instead of
+    raising.
+
     Parameters
     ----------
     bandwidth_bps:
         Link throughput.
     latency_s:
         One-way propagation latency per transfer.
+    queue_when_offline:
+        When True, :meth:`transfer` during an outage queues the transfer
+        for the next recovery instead of raising ``RuntimeError``.
     """
 
-    def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6, latency_s: float = 0.05) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float = 10e6,
+        latency_s: float = 0.05,
+        queue_when_offline: bool = False,
+    ) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
         if latency_s < 0:
@@ -31,13 +49,66 @@ class Uplink:
         self.sim = sim
         self.bandwidth_bps = float(bandwidth_bps)
         self.latency_s = float(latency_s)
+        self.queue_when_offline = queue_when_offline
         self._free_at = sim.now
         self.bits_transferred = 0.0
         self.transfers = 0
-        #: WAN availability: False models a backhaul outage -- the
-        #: pervasive layer must then keep computation local.
-        self.online = True
+        self.outages = 0
+        self._online = True
+        self._subscribers: list[typing.Callable[[bool], None]] = []
+        self._deferred: list[typing.Callable[[], None]] = []
 
+    # ------------------------------------------------------------------
+    # availability
+    # ------------------------------------------------------------------
+    @property
+    def online(self) -> bool:
+        """WAN availability: False models a backhaul outage -- the
+        pervasive layer must then keep computation local."""
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        self.set_online(bool(value))
+
+    def set_online(self, value: bool) -> None:
+        """Flip availability, notifying subscribers on every edge and
+        draining transfers deferred during the outage on recovery."""
+        value = bool(value)
+        if value == self._online:
+            return
+        self._online = value
+        if not value:
+            self.outages += 1
+        for callback in list(self._subscribers):
+            callback(value)
+        if value and self._deferred:
+            pending, self._deferred = self._deferred, []
+            for thunk in pending:
+                thunk()
+
+    def subscribe(self, callback: typing.Callable[[bool], None]) -> None:
+        """Register an availability observer ``callback(online)``; fired
+        on every online/offline edge, after internal state has settled."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: typing.Callable[[bool], None]) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def when_online(self, callback: typing.Callable[[], None]) -> None:
+        """Run ``callback`` now if online, else once at the next recovery."""
+        if self._online:
+            callback()
+        else:
+            self._deferred.append(callback)
+
+    # ------------------------------------------------------------------
+    # transfers
+    # ------------------------------------------------------------------
     def transfer_time(self, bits: float) -> float:
         """Unloaded transfer time for ``bits`` (no queueing)."""
         if bits < 0:
@@ -45,19 +116,33 @@ class Uplink:
         return bits / self.bandwidth_bps + self.latency_s
 
     def estimate_completion(self, bits: float) -> float:
-        """Finish time if a transfer of ``bits`` were submitted now."""
+        """Finish time if a transfer of ``bits`` were submitted now.
+
+        Returns ``math.inf`` during an outage: an offline uplink has no
+        finite completion time, so planners comparing estimates will
+        never choose grid offload while the backhaul is down.
+        """
+        if not self._online:
+            return math.inf
         start = max(self._free_at, self.sim.now)
         return start + self.transfer_time(bits)
 
     def transfer(self, bits: float, on_complete: typing.Callable[[], None] | None = None) -> float:
         """Start a transfer; returns its finish time.
 
-        Raises ``RuntimeError`` during an outage -- callers must check
-        :attr:`online` (the execution models do).
+        During an outage: raises ``RuntimeError`` by default, or (with
+        ``queue_when_offline=True``) defers the transfer to the next
+        recovery and returns ``math.inf`` (the true finish time is
+        unknown until the link returns; ``on_complete`` still fires after
+        the deferred transfer completes).
         """
-        if not self.online:
-            raise RuntimeError("uplink is offline")
-        finish = self.estimate_completion(bits)
+        if not self._online:
+            if not self.queue_when_offline:
+                raise RuntimeError("uplink is offline")
+            self._deferred.append(lambda: self.transfer(bits, on_complete))
+            return math.inf
+        start = max(self._free_at, self.sim.now)
+        finish = start + self.transfer_time(bits)
         self._free_at = finish
         self.bits_transferred += bits
         self.transfers += 1

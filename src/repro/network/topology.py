@@ -36,6 +36,7 @@ class Topology:
             raise ValueError("range_m must be positive")
         self.range_m = float(range_m)
         self._alive = np.ones(len(self._positions), dtype=bool)
+        self._blocked: np.ndarray | None = None
         self._adj: np.ndarray | None = None
         self._version = 0
 
@@ -96,6 +97,34 @@ class Topology:
             self._alive[node] = True
             self._invalidate()
 
+    def block_links(self, group_a: typing.Iterable[int], group_b: typing.Iterable[int]) -> None:
+        """Sever every link between two node groups (network partition).
+
+        Nodes stay alive -- only cross-group edges disappear from the
+        adjacency, symmetrically.  Blocks stack: a link is usable again
+        only once :meth:`unblock_links` has been called as many times as
+        it was blocked (independent overlapping partitions compose).
+        """
+        a = np.fromiter((int(n) for n in group_a), dtype=np.intp)
+        b = np.fromiter((int(n) for n in group_b), dtype=np.intp)
+        if self._blocked is None:
+            self._blocked = np.zeros((self.n_nodes, self.n_nodes), dtype=np.int16)
+        self._blocked[np.ix_(a, b)] += 1
+        self._blocked[np.ix_(b, a)] += 1
+        self._invalidate()
+
+    def unblock_links(self, group_a: typing.Iterable[int], group_b: typing.Iterable[int]) -> None:
+        """Restore links previously severed by :meth:`block_links`."""
+        if self._blocked is None:
+            return
+        a = np.fromiter((int(n) for n in group_a), dtype=np.intp)
+        b = np.fromiter((int(n) for n in group_b), dtype=np.intp)
+        self._blocked[np.ix_(a, b)] = np.maximum(self._blocked[np.ix_(a, b)] - 1, 0)
+        self._blocked[np.ix_(b, a)] = np.maximum(self._blocked[np.ix_(b, a)] - 1, 0)
+        if not self._blocked.any():
+            self._blocked = None
+        self._invalidate()
+
     def _invalidate(self) -> None:
         self._adj = None
         self._version += 1
@@ -110,6 +139,8 @@ class Topology:
             adj = neighbors_within(self._positions, self.range_m)
             adj &= self._alive[:, None]
             adj &= self._alive[None, :]
+            if self._blocked is not None:
+                adj &= self._blocked == 0
             self._adj = adj
         return self._adj
 

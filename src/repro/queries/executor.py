@@ -148,11 +148,13 @@ class QueryExecutor:
         qclass = classify(query)
         targets = select_targets(self.ctx.deployment, query, self.ctx.rooms_per_side)
         if not targets:
+            self._count_failure("no-targets")
             on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
                                      float("nan"), epoch_index, "no targets"))
             return
         decision = self.decision_maker.decide(query, self.ctx, targets)
         if decision is None:
+            self._count_failure("no-feasible-model")
             on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
                                      float("nan"), epoch_index, "no feasible model"))
             return
@@ -216,6 +218,9 @@ class QueryExecutor:
                                    rel_error=float("nan"))
 
     # ------------------------------------------------------------------
+    def _count_failure(self, reason: str) -> None:
+        self.ctx.deployment.monitor.counter(f"queries.failed.{reason}").add(1)
+
     def _ground_truth(self, query: Query, targets: list[int]) -> typing.Any:
         """Noise-free answer computed from the true field (free of charge)."""
         dep = self.ctx.deployment

@@ -119,6 +119,15 @@ class GridOffloadModel(ExecutionModel):
                 on_complete(ModelOutcome(True, result.value, self.name, total_s,
                                          actual_energy, est.data_bits, len(readings)))
 
-            ctx.grid.offload(job, grid_done)
+            def grid_failed(reason: str) -> None:
+                # the uplink dropped (or the job died) after the decision
+                # was made -- fail cleanly with a counted reason rather
+                # than leaking an exception out of the event loop
+                ctx.deployment.monitor.counter(f"queries.failed.{reason}").add(1)
+                total_s = wireless_s + (ctx.sim.now - started_at)
+                on_complete(ModelOutcome(False, None, self.name, total_s,
+                                         actual_energy, est.data_bits, len(readings), reason))
+
+            ctx.grid.offload(job, grid_done, on_failure=grid_failed)
 
         ctx.sim.schedule(wireless_s, start_offload, label=f"exec:{self.name}")

@@ -25,6 +25,8 @@ class Counter:
 
     def add(self, amount: float = 1.0) -> None:
         """Accumulate ``amount`` (may be fractional, must be finite)."""
+        if not math.isfinite(amount):
+            raise ValueError(f"counter {self.name!r}: amount must be finite, got {amount!r}")
         self.value += amount
         self.increments += 1
 

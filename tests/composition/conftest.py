@@ -17,20 +17,25 @@ from repro.discovery import (
     ServiceRegistry,
     build_service_ontology,
 )
+from repro.resilience import BreakerBoard
 from repro.simkernel import RandomStreams, Simulator
 
 
 class CompositionEnv:
     """A wired-side composition testbed: platform, registry, providers."""
 
-    def __init__(self, mode="centralized", timeout_s=10.0, max_retries=2):
+    def __init__(self, mode="centralized", timeout_s=10.0, max_retries=2, breaker_kwargs=None):
         self.sim = Simulator()
         self.streams = RandomStreams(42)
         self.platform = AgentPlatform(self.sim)
         self.registry = ServiceRegistry(SemanticMatcher(build_service_ontology()))
         self.binder = Binder(self.registry)
+        self.breakers = (
+            BreakerBoard(self.sim, **breaker_kwargs) if breaker_kwargs is not None else None
+        )
         self.manager = CompositionManager(
-            "mgr", self.sim, self.binder, mode=mode, timeout_s=timeout_s, max_retries=max_retries
+            "mgr", self.sim, self.binder, mode=mode, timeout_s=timeout_s,
+            max_retries=max_retries, breakers=self.breakers,
         )
         self.platform.register(self.manager)
         self.broker = BrokerAgent("broker", self.registry)

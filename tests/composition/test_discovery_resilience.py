@@ -1,0 +1,98 @@
+"""Tests for discovery retry-with-backoff and hedged broker queries."""
+
+from repro.composition import ReactiveComposer
+from repro.resilience import Hedge, RetryPolicy
+
+
+def wire_composer(env, **kwargs):
+    composer = ReactiveComposer("composer", env.planner, env.manager, "broker",
+                                discovery_timeout_s=5.0, **kwargs)
+    env.platform.register(composer)
+    return composer
+
+
+class TestDiscoveryRetry:
+    def test_single_shot_fails_when_broker_unreachable(self, env_factory):
+        env = env_factory()
+        env.add_stream_mining_providers()
+        env.platform.unregister("broker")
+        composer = wire_composer(env)
+        results = []
+        composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+        env.sim.run()
+        assert not results[0].success
+        assert composer.discovery_retries == 0
+
+    def test_retry_recovers_after_broker_returns(self, env_factory):
+        env = env_factory()
+        env.add_stream_mining_providers()
+        env.platform.unregister("broker")
+        composer = wire_composer(
+            env, retry=RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter="none"))
+        results = []
+        composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+        # broker comes back while the first attempt is timing out
+        env.sim.schedule(3.0, lambda: env.platform.register(env.broker))
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert composer.discovery_retries >= 1
+
+    def test_retry_budget_exhausts(self, env_factory):
+        env = env_factory()
+        env.add_stream_mining_providers()
+        env.platform.unregister("broker")  # never returns
+        composer = wire_composer(
+            env, retry=RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter="none"))
+        results = []
+        composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+        env.sim.run()
+        assert not results[0].success
+        assert composer.discovery_retries == 2  # attempts 2 and 3
+
+    def test_deterministic_backoff_timeline(self, env_factory):
+        """With jitter='none' the retry instants are exactly the policy
+        ceilings after each 5 s discovery timeout."""
+        def run():
+            env = env_factory()
+            env.add_stream_mining_providers()
+            env.platform.unregister("broker")
+            composer = wire_composer(
+                env, retry=RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter="none"))
+            results = []
+            composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+            env.sim.run()
+            return env.sim.now
+
+        assert run() == run()
+
+
+class TestDiscoveryHedging:
+    def test_hedge_wave_rescues_dropped_queries(self, env_factory):
+        """The first queries are dropped (broker unregistered); the hedge
+        wave re-asks once the broker is back, within the same attempt."""
+        env = env_factory()
+        env.add_stream_mining_providers()
+        env.platform.unregister("broker")
+        composer = wire_composer(env, hedge=Hedge(delay_s=2.0, max_hedges=1))
+        results = []
+        composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+        env.sim.schedule(1.0, lambda: env.platform.register(env.broker))
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert composer.hedged_queries > 0
+        assert composer.discovery_retries == 0  # rescued inside attempt 1
+
+    def test_duplicate_replies_do_not_double_bind(self, env_factory):
+        """With a healthy broker and an aggressive hedge delay, duplicate
+        replies arrive for the same tasks; exactly one composition runs."""
+        env = env_factory()
+        env.add_stream_mining_providers()
+        composer = wire_composer(env, hedge=Hedge(delay_s=1e-3, max_hedges=1))
+        results = []
+        composer.compose("analyze-stream", results.append, {"n_partitions": 2})
+        env.sim.run()
+        assert len(results) == 1
+        assert results[0].success
+        assert env.manager.completed == 1

@@ -1,0 +1,122 @@
+"""Tests for the manager's blacklist-exhaustion fallback and breakers."""
+
+import pytest
+
+from repro.composition import TaskGraph, TaskSpec
+from repro.discovery import Preference
+
+
+def one_task_graph():
+    g = TaskGraph()
+    g.add_task(TaskSpec("learn", "DecisionTreeService"))
+    return g
+
+
+class TestBlacklistExhaustionFallback:
+    def test_clears_blacklist_and_rebinds_same_service(self, env_factory):
+        """With a single provider, a timeout blacklists it, the rebind
+        raises BindingError, and the fallback clears the blacklist and
+        rebinds the same (now responsive) service."""
+        env = env_factory(timeout_s=5.0, max_retries=2)
+        provider = env.add_provider("only", "DecisionTreeService")
+        # unresponsive at first: deregistered from the platform, so the
+        # invoke is silently dropped and the attempt times out
+        env.platform.unregister("only")
+        results = []
+        env.manager.execute(one_task_graph(), results.append)
+        # back online while the first attempt is still hanging
+        env.sim.schedule(2.0, lambda: env.platform.register(provider))
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert r.attempts == 2
+        # the fallback rebound the *same* service, so no rebind counted
+        assert r.rebinds == 0
+
+    def test_exhausted_blacklist_with_empty_registry_fails(self, env_factory):
+        """If even the cleared-blacklist rebind finds nothing (registry
+        empty), the attempt finishes as a failure instead of looping."""
+        env = env_factory(timeout_s=5.0, max_retries=3)
+        env.add_provider("only", "DecisionTreeService")
+        env.platform.unregister("only")
+        results = []
+        env.manager.execute(one_task_graph(), results.append)
+        # the host disappears from the registry while the attempt hangs
+        env.sim.schedule(2.0, lambda: env.registry.withdraw("svc-only"))
+        env.sim.run()
+        (r,) = results
+        assert not r.success
+        assert r.attempts == 1  # never relaunched: rebind failed outright
+        assert env.manager.failed == 1
+
+    def test_fallback_not_taken_when_alternative_exists(self, env_factory):
+        """Sanity: with a healthy alternative the ordinary blacklist path
+        rebinds to it, no clearing involved."""
+        env = env_factory(timeout_s=5.0, max_retries=2)
+        env.add_provider("dead", "DecisionTreeService", queue=0)
+        env.add_provider("alive", "DecisionTreeService", queue=9)
+        env.platform.unregister("dead")
+        g = TaskGraph()
+        g.add_task(TaskSpec("learn", "DecisionTreeService",
+                            preferences=(Preference("queue", "minimize"),)))
+        results = []
+        env.manager.execute(g, results.append)
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert r.rebinds == 1
+
+
+class TestManagerWithBreakers:
+    def test_open_breaker_excludes_provider_on_rebind(self, env_factory):
+        """One timeout trips the (threshold-1) breaker, so the retry binds
+        the healthy provider even though the dead one is still advertised
+        and preferred."""
+        env = env_factory(timeout_s=5.0, max_retries=2,
+                          breaker_kwargs={"failure_threshold": 1,
+                                          "recovery_timeout_s": 1000.0})
+        env.add_provider("dead", "DecisionTreeService", queue=0)
+        env.add_provider("alive", "DecisionTreeService", queue=9)
+        env.platform.unregister("dead")  # silently drops invokes
+        g = TaskGraph()
+        g.add_task(TaskSpec("learn", "DecisionTreeService",
+                            preferences=(Preference("queue", "minimize"),)))
+        results = []
+        env.manager.execute(g, results.append)
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert env.breakers.get("dead").state == "open"
+        assert env.breakers.blocked_providers() == {"dead"}
+
+    def test_success_closes_breakers(self, env_factory):
+        env = env_factory(breaker_kwargs={"failure_threshold": 1})
+        env.add_stream_mining_providers()
+        results = []
+        g = TaskGraph()
+        g.add_task(TaskSpec("learn", "DecisionTreeService"))
+        g.add_task(TaskSpec("combine", "EnsembleCombinerService"))
+        g.add_edge("learn", "combine")
+        env.manager.execute(g, results.append)
+        env.sim.run()
+        assert results[0].success
+        assert env.breakers.blocked_providers() == set()
+        assert len(env.breakers) >= 2  # successes recorded per provider
+
+    def test_all_breakers_open_still_binds_as_last_resort(self, env_factory):
+        """When every provider of a category is behind an open breaker,
+        the bind drops the breaker exclusion rather than failing -- a
+        suspect provider beats none."""
+        env = env_factory(timeout_s=5.0, max_retries=3,
+                          breaker_kwargs={"failure_threshold": 1,
+                                          "recovery_timeout_s": 1000.0})
+        provider = env.add_provider("only", "DecisionTreeService")
+        env.platform.unregister("only")
+        results = []
+        env.manager.execute(one_task_graph(), results.append)
+        # trip happens at the first timeout (t=5); provider returns at t=6
+        env.sim.schedule(6.0, lambda: env.platform.register(provider))
+        env.sim.run()
+        (r,) = results
+        assert r.success
+        assert env.breakers.get("only").trips >= 1

@@ -1,0 +1,209 @@
+"""Tests for job failure, checkpointed re-submission, and uplink outages."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid.infrastructure import GridInfrastructure
+from repro.grid.job import ComputeJob
+from repro.grid.resource import GridResource
+from repro.grid.scheduler import GridScheduler
+from repro.grid.uplink import Uplink
+from repro.simkernel import Simulator
+
+
+class TestFailingResource:
+    def test_failure_reports_and_checkpoints(self):
+        sim = Simulator()
+        site = GridResource(sim, "flaky", 1e6, fail_prob=0.999,
+                            rng=np.random.default_rng(0))
+        job = ComputeJob(ops=1e6)
+        results = []
+        site.submit(job, results.append)
+        sim.run()
+        (r,) = results
+        assert not r.success
+        assert r.error == "site-failure"
+        assert site.jobs_failed == 1 and site.jobs_completed == 0
+        assert 0.0 < job.checkpoint_fraction < 1.0
+        assert job.remaining_ops == pytest.approx(1e6 * (1 - job.checkpoint_fraction))
+
+    def test_partial_service_occupies_site_partially(self):
+        sim = Simulator()
+        site = GridResource(sim, "flaky", 1e6, fail_prob=0.999,
+                            rng=np.random.default_rng(0))
+        job = ComputeJob(ops=1e6)
+        site.submit(job)
+        sim.run()
+        assert 0.0 < site.busy_seconds < 1.0  # full job would be 1.0 s
+
+    def test_fail_prob_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            GridResource(sim, "x", 1e6, fail_prob=0.5)
+
+    def test_zero_fail_prob_behaves_as_before(self):
+        sim = Simulator()
+        site = GridResource(sim, "ok", 1e6)
+        results = []
+        site.submit(ComputeJob(ops=2e6), results.append)
+        sim.run()
+        assert results[0].success
+        assert results[0].service_s == pytest.approx(2.0)
+
+
+class TestCheckpointedResubmission:
+    def make_grid(self, flaky_fail=0.999):
+        sim = Simulator()
+        # the flaky site is much faster, so MCT always picks it first
+        flaky = GridResource(sim, "flaky", 1e9, fail_prob=flaky_fail,
+                             rng=np.random.default_rng(1))
+        steady = GridResource(sim, "steady", 1e6)
+        return sim, flaky, steady, GridScheduler([flaky, steady])
+
+    def test_resubmits_to_next_best_site(self):
+        sim, flaky, steady, sched = self.make_grid()
+        job = ComputeJob(ops=1e6)
+        results = []
+        first = sched.submit(job, results.append, max_attempts=2)
+        sim.run()
+        assert first is flaky
+        (r,) = results
+        assert r.success
+        assert r.resource == "steady"
+        assert sched.resubmissions == 1
+        assert sched.dispatched == 1  # one logical job
+
+    def test_checkpoint_shrinks_second_attempt(self):
+        sim, flaky, steady, sched = self.make_grid()
+        job = ComputeJob(ops=1e6)
+        results = []
+        sched.submit(job, results.append, max_attempts=2)
+        sim.run()
+        (r,) = results
+        # the steady site only ran the remaining fraction: strictly less
+        # than the 1.0 s a from-scratch run would take
+        assert r.service_s < 1.0
+        assert r.service_s == pytest.approx(job.remaining_ops / steady.ops_per_second)
+
+    def test_attempts_exhausted_reports_failure(self):
+        sim = Simulator()
+        sites = [
+            GridResource(sim, f"f{i}", 1e9, fail_prob=0.999, rng=np.random.default_rng(i))
+            for i in range(2)
+        ]
+        sched = GridScheduler(sites)
+        results = []
+        sched.submit(ComputeJob(ops=1e6), results.append, max_attempts=2)
+        sim.run()
+        (r,) = results
+        assert not r.success
+        assert r.error == "site-failure"
+
+    def test_single_attempt_passes_failure_through(self):
+        sim, flaky, steady, sched = self.make_grid()
+        results = []
+        sched.submit(ComputeJob(ops=1e6), results.append)  # max_attempts=1
+        sim.run()
+        assert not results[0].success
+        assert sched.resubmissions == 0
+
+
+class TestUplinkAvailability:
+    def test_estimate_completion_offline_is_inf(self):
+        sim = Simulator()
+        uplink = Uplink(sim)
+        assert math.isfinite(uplink.estimate_completion(1e6))
+        uplink.online = False
+        assert uplink.estimate_completion(1e6) == math.inf
+        assert uplink.estimate_completion(0.0) == math.inf
+
+    def test_subscribers_observe_both_edges(self):
+        sim = Simulator()
+        uplink = Uplink(sim)
+        edges = []
+        callback = edges.append
+        uplink.subscribe(callback)
+        uplink.set_online(False)
+        uplink.set_online(False)  # idempotent: no duplicate edge
+        uplink.set_online(True)
+        assert edges == [False, True]
+        assert uplink.outages == 1
+        uplink.unsubscribe(callback)
+        uplink.set_online(False)
+        assert edges == [False, True]  # unsubscribed: no further edges
+        uplink.unsubscribe(callback)  # second removal is a no-op
+
+    def test_offline_transfer_queues_and_drains(self):
+        sim = Simulator()
+        uplink = Uplink(sim, queue_when_offline=True)
+        done = []
+        uplink.set_online(False)
+        assert uplink.transfer(1e6, lambda: done.append(sim.now)) == math.inf
+        sim.schedule(5.0, lambda: uplink.set_online(True))
+        sim.run()
+        assert uplink.transfers == 1
+        assert done and done[0] >= 5.0
+
+    def test_when_online_defers_until_recovery(self):
+        sim = Simulator()
+        uplink = Uplink(sim)
+        calls = []
+        uplink.when_online(lambda: calls.append("now"))
+        assert calls == ["now"]
+        uplink.set_online(False)
+        uplink.when_online(lambda: calls.append("later"))
+        assert calls == ["now"]
+        uplink.set_online(True)
+        assert calls == ["now", "later"]
+
+
+class TestOffloadFailurePaths:
+    def test_estimate_offload_time_inf_when_offline(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim)
+        job = ComputeJob(ops=1e6, input_bits=1e4, output_bits=1e3)
+        assert math.isfinite(grid.estimate_offload_time(job))
+        grid.uplink.online = False
+        assert grid.estimate_offload_time(job) == math.inf
+
+    def test_offload_offline_invokes_on_failure(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim)
+        grid.uplink.online = False
+        failures = []
+        grid.offload(ComputeJob(ops=1e6), on_failure=failures.append)
+        sim.run()
+        assert failures == ["uplink-offline"]
+
+    def test_offload_offline_without_handler_raises(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim)
+        grid.uplink.online = False
+        with pytest.raises(RuntimeError):
+            grid.offload(ComputeJob(ops=1e6))
+
+    def test_outage_during_compute_fails_download_leg(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim, site_rates=(1e3,))  # slow: 1000 s compute
+        completions, failures = [], []
+        grid.offload(ComputeJob(ops=1e6, input_bits=1e3, output_bits=1e3),
+                     completions.append, failures.append)
+        sim.schedule(10.0, lambda: grid.uplink.set_online(False))
+        sim.run()
+        assert completions == []
+        assert failures == ["uplink-offline"]
+
+    def test_offload_with_resubmission_succeeds(self):
+        sim = Simulator()
+        grid = GridInfrastructure(sim)
+        grid.resources[1].fail_prob = 0.999  # the fast site MCT prefers
+        grid.resources[1].rng = np.random.default_rng(3)
+        results = []
+        grid.offload(ComputeJob(ops=1e6, input_bits=1e3, output_bits=1e3),
+                     results.append, max_attempts=2)
+        sim.run()
+        (r,) = results
+        assert r.success
+        assert r.resource == "site0"

@@ -79,6 +79,18 @@ class TestMonitor:
         assert c.value == 0.0
         assert c.increments == 0
 
+    def test_counter_rejects_non_finite(self):
+        import math
+
+        mon = Monitor()
+        c = mon.counter("x")
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises(ValueError):
+                c.add(bad)
+        # a rejected add must not poison the counter
+        assert c.value == 0.0
+        assert c.increments == 0
+
     def test_series_reductions(self):
         mon = Monitor()
         s = mon.series("latency")

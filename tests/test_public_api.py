@@ -36,6 +36,8 @@ class TestSubpackageExports:
         "repro.discovery",
         "repro.discovery.protocols",
         "repro.composition",
+        "repro.faults",
+        "repro.resilience",
         "repro.pde",
         "repro.datamining",
         "repro.queries",
@@ -61,6 +63,7 @@ class TestSubpackageExports:
         for module in [
             "repro.simkernel", "repro.network", "repro.sensors", "repro.grid",
             "repro.agents", "repro.discovery", "repro.composition", "repro.pde",
+            "repro.faults", "repro.resilience",
             "repro.datamining", "repro.queries", "repro.core", "repro.workloads",
         ]:
             mod = importlib.import_module(module)
