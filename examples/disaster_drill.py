@@ -16,9 +16,15 @@ degrading instead of crashing:
    traceback.
 
 Run:  python examples/disaster_drill.py
+      python examples/disaster_drill.py --trace
+      python examples/disaster_drill.py --export drill-trace.jsonl
 """
 
+import argparse
+
 from repro.faults import NodeCrash, UplinkOutage
+from repro.observability.analysis import Trace
+from repro.observability.report import pick_root, render_critical_path, render_rollup
 from repro.workloads import fire_scenario
 
 DISTRIBUTION_Q = "SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05"
@@ -33,8 +39,19 @@ def show(label: str, outcomes) -> None:
             print(f"  {label:<34} FAILED ({o.error})")
 
 
-def main() -> None:
-    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2)
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", action="store_true",
+                        help="record a span trace and print the critical-path "
+                             "rollup at the end of the drill")
+    parser.add_argument("--export", metavar="PATH", default=None,
+                        help="write the trace as JSONL to PATH (implies --trace); "
+                             "analyze it with python -m repro.observability.report")
+    args = parser.parse_args(argv)
+    tracing = args.trace or args.export is not None
+
+    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2,
+                            trace=tracing)
     injector = runtime.fault_injector()
     base = runtime.deployment.base_station_id
 
@@ -79,6 +96,21 @@ def main() -> None:
         print("failure reasons counted in the monitor:")
         for name, count in sorted(failed.items()):
             print(f"  {name}: {count:.0f}")
+
+    if tracing:
+        print("\n=== where did the time go (slowest query) ===")
+        trace = Trace(runtime.tracer.records)
+        root = pick_root(trace, "query.")
+        if root is None:
+            print("no closed query span recorded")
+        else:
+            print(render_critical_path(trace, root))
+            print()
+            print(render_rollup(trace, root))
+        if args.export:
+            count = runtime.export_trace(args.export)
+            print(f"\nexported {count} trace records to {args.export}")
+            print(f"analyze with: python -m repro.observability.report {args.export}")
 
 
 if __name__ == "__main__":

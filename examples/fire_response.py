@@ -15,12 +15,15 @@ Run:  python examples/fire_response.py
 
 import numpy as np
 
+from repro.observability.analysis import Trace
+from repro.observability.report import pick_root, render_critical_path, render_rollup
 from repro.reporting import ascii_heatmap
 from repro.workloads import fire_scenario
 
 
 def main() -> None:
-    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2)
+    runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2,
+                            trace=True)
 
     print("=== t=0: fire just ignited ===")
     out = runtime.query("SELECT MAX(value) FROM sensors")
@@ -68,6 +71,16 @@ def main() -> None:
     print(f"\nsensors still alive: {len(runtime.deployment.alive_sensor_ids())}"
           f"/{runtime.deployment.n_sensors}")
     print(f"total sensor energy spent: {runtime.energy_consumed_j()*1e3:.2f} mJ")
+
+    print("\n=== where did the time go (slowest query) ===")
+    trace = Trace(runtime.tracer.records)
+    root = pick_root(trace, "query.")
+    if root is None:
+        print("no closed query span recorded")
+    else:
+        print(render_critical_path(trace, root))
+        print()
+        print(render_rollup(trace, root))
 
 
 if __name__ == "__main__":

@@ -38,8 +38,9 @@ from repro.agents.agent import Agent
 from repro.agents.attributes import AgentAttributes, AgentRole
 from repro.composition.binding import Binder, Binding, BindingError
 from repro.composition.task import TaskGraph
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, STATUS_ERROR, STATUS_OK, Tracer
 from repro.resilience import BreakerBoard
-from repro.simkernel import Simulator
+from repro.simkernel import Monitor, Simulator
 
 _comp_ids = itertools.count()
 
@@ -95,6 +96,7 @@ class _Attempt:
     timeout_handle: typing.Any = None
     initial_inputs: dict = dataclasses.field(default_factory=dict)
     blacklist: set[str] = dataclasses.field(default_factory=set)
+    span: typing.Any = NOOP_SPAN
 
 
 class CompositionManager(Agent):
@@ -135,6 +137,8 @@ class CompositionManager(Agent):
         max_retries: int = 2,
         role_card_bits: float = 256.0,
         breakers: BreakerBoard | None = None,
+        monitor: Monitor | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         super().__init__(name, AgentAttributes.of(AgentRole.COMPOSER))
         if mode not in ("centralized", "distributed"):
@@ -148,9 +152,15 @@ class CompositionManager(Agent):
         self.max_retries = max_retries
         self.role_card_bits = role_card_bits
         self.breakers = breakers
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self._active: dict[str, _Attempt] = {}
         self.completed = 0
         self.failed = 0
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.monitor is not None:
+            self.monitor.counter(name).add(amount)
 
     def setup(self) -> None:
         self.on(Performative.INFORM, self._handle_inform)
@@ -173,10 +183,19 @@ class CompositionManager(Agent):
         """
         comp_id = f"comp-{next(_comp_ids)}"
         started = self.sim.now
+        tracer = self.tracer
+        span = NOOP_SPAN
+        if tracer.enabled:
+            span = tracer.span("composition.execute", comp_id=comp_id,
+                               mode=self.mode, tasks=len(list(graph.tasks())))
         try:
             bound = bindings if bindings is not None else self._bind(graph, set())
         except BindingError:
             self.failed += 1
+            self._count("composition.failed")
+            if tracer.enabled:
+                span.set(fail_reason="unbindable")
+            span.end(STATUS_ERROR)
             on_complete(CompositionResult(False, {}, 0.0, 1, 0, self.mode))
             return comp_id
         attempt = _Attempt(
@@ -188,6 +207,7 @@ class CompositionManager(Agent):
             attempts=1,
             rebinds=0,
             initial_inputs=dict(initial_inputs or {}),
+            span=span,
         )
         self._active[comp_id] = attempt
         self._launch(attempt)
@@ -201,13 +221,16 @@ class CompositionManager(Agent):
         attempt.done_tasks = set()
         attempt.in_flight = set()
         attempt.first_started_at = self.sim.now
-        attempt.timeout_handle = self.sim.schedule(
-            self.timeout_s, lambda: self._on_timeout(attempt.comp_id), label=f"timeout:{attempt.comp_id}"
-        )
-        if self.mode == "centralized":
-            self._dispatch_ready(attempt)
-        else:
-            self._distribute_roles(attempt)
+        # run under the composition's span so the timeout, dispatched
+        # invocations and their network activity inherit its trace
+        with self.tracer.use(attempt.span):
+            attempt.timeout_handle = self.sim.schedule(
+                self.timeout_s, lambda: self._on_timeout(attempt.comp_id), label=f"timeout:{attempt.comp_id}"
+            )
+            if self.mode == "centralized":
+                self._dispatch_ready(attempt)
+            else:
+                self._distribute_roles(attempt)
 
     def _finish(self, attempt: _Attempt, success: bool) -> None:
         if attempt.finished:
@@ -229,11 +252,18 @@ class CompositionManager(Agent):
         result._completeness = len(outputs) / len(sinks) if sinks else 0.0
         if success:
             self.completed += 1
+            self._count("composition.completed")
             if self.breakers is not None:
                 for binding in attempt.bindings.values():
                     self.breakers.record_success(binding.provider)
         else:
             self.failed += 1
+            self._count("composition.failed")
+        self._count("composition.rebinds", attempt.rebinds)
+        if self.tracer.enabled:
+            attempt.span.set(attempts=attempt.attempts, rebinds=attempt.rebinds,
+                             completeness=result._completeness)
+        attempt.span.end(STATUS_OK if success else STATUS_ERROR)
         attempt.on_complete(result)
 
     def _on_timeout(self, comp_id: str) -> None:
@@ -241,6 +271,10 @@ class CompositionManager(Agent):
         if attempt is None or attempt.finished:
             return
         suspects = self._suspect_services(attempt)
+        self._count("composition.timeouts")
+        if self.tracer.enabled:
+            attempt.span.event("composition.timeout", comp_id=comp_id,
+                               attempt=attempt.attempts, suspects=len(suspects))
         if self.breakers is not None:
             suspect_providers = {
                 b.provider for b in attempt.bindings.values() if b.service_name in suspects
@@ -303,6 +337,10 @@ class CompositionManager(Agent):
             1 for t, b in attempt.bindings.items() if old.get(t) != b.service_name
         )
         attempt.attempts += 1
+        if self.tracer.enabled:
+            attempt.span.event("composition.retry", comp_id=attempt.comp_id,
+                               attempt=attempt.attempts, rebinds=attempt.rebinds,
+                               excluded=len(exclude))
         self._launch(attempt)
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.composition.binding import Binding
 from repro.composition.manager import CompositionManager, CompositionResult
 from repro.composition.planner import HTNPlanner, PlanningError
 from repro.composition.task import TaskGraph
+from repro.observability.tracer import NOOP_SPAN, STATUS_ERROR, STATUS_OK
 from repro.resilience import Hedge, RetryPolicy
 
 
@@ -96,8 +97,21 @@ class _ComposerBase(Agent):
         if not graph.tasks():
             on_bound({})
             return
-        self._discover_attempt(graph, on_bound, attempt=1,
-                               started=self.manager.sim.now, prev_delay=None)
+        tracer = self.manager.tracer
+        span = NOOP_SPAN
+        if tracer.enabled:
+            span = tracer.span("composition.discovery", composer=self.name,
+                               tasks=len(graph.tasks()))
+
+        def finish(bindings: dict[str, Binding] | None) -> None:
+            if tracer.enabled:
+                span.set(bound=0 if bindings is None else len(bindings))
+            span.end(STATUS_OK if bindings is not None else STATUS_ERROR)
+            on_bound(bindings)
+
+        with tracer.use(span):
+            self._discover_attempt(graph, finish, attempt=1,
+                                   started=self.manager.sim.now, prev_delay=None)
 
     def _discover_attempt(
         self,
@@ -131,6 +145,13 @@ class _ComposerBase(Agent):
             for cid in conv_ids:
                 self._pending.pop(cid, None)
             self.discovery_retries += 1
+            if self.manager.monitor is not None:
+                self.manager.monitor.counter("resilience.retries").add()
+            tracer = self.manager.tracer
+            if tracer.enabled:
+                tracer.event("resilience.retry", kind="discovery",
+                             composer=self.name, attempt=next_attempt,
+                             delay_s=delay)
             sim.schedule(
                 delay,
                 lambda: self._discover_attempt(graph, on_bound, next_attempt, started, delay),
@@ -158,6 +179,13 @@ class _ComposerBase(Agent):
                 for task in unanswered:
                     query(task)
                     self.hedged_queries += 1
+                if self.manager.monitor is not None:
+                    self.manager.monitor.counter("resilience.hedges").add(len(unanswered))
+                tracer = self.manager.tracer
+                if tracer.enabled:
+                    tracer.event("resilience.hedge", kind="discovery",
+                                 composer=self.name, wave=wave,
+                                 duplicated=len(unanswered))
                 if wave < self.hedge.max_hedges:
                     sim.schedule(self.hedge.delay_s, lambda: launch_hedges(wave + 1),
                                  label=f"discovery-hedge:{self.name}")

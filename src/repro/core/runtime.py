@@ -19,6 +19,7 @@ from repro.discovery.ontology import build_service_ontology
 from repro.discovery.registry import ServiceRegistry
 from repro.grid.infrastructure import GridInfrastructure
 from repro.network.radio import RadioModel
+from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.queries.executor import QueryExecutor, QueryOutcome
 from repro.queries.models import ALL_MODELS, QueryContext
 from repro.queries.models.base import ExecutionModel
@@ -44,6 +45,12 @@ class PervasiveGridRuntime:
         Execution-model instances (default: one of each registered model).
     grid_resolution:
         PDE grid resolution for complex queries.
+    trace:
+        When True, the runtime owns an enabled
+        :class:`~repro.observability.tracer.Tracer` wired through every
+        subsystem (simulator, network, executor, grid, faults); export
+        it with :meth:`export_trace`.  Default off: the shared no-op
+        tracer, which costs nothing on the record path.
     """
 
     def __init__(
@@ -62,9 +69,12 @@ class PervasiveGridRuntime:
         grid_resolution: int = 40,
         placement: str = "grid",
         noise_std: float = 0.5,
+        trace: bool = False,
     ) -> None:
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
+        self.tracer = Tracer(self.sim) if trace else NOOP_TRACER
+        self.sim.tracer = self.tracer
         self.deployment = SensorDeployment(
             n_sensors,
             area_m,
@@ -77,12 +87,16 @@ class PervasiveGridRuntime:
             placement=placement,
             noise_std=noise_std,
         )
-        self.grid = GridInfrastructure(self.sim, site_rates=site_rates)
+        self.deployment.network.tracer = self.tracer
+        self.grid = GridInfrastructure(self.sim, site_rates=site_rates,
+                                       monitor=self.deployment.monitor,
+                                       tracer=self.tracer)
         self.ctx = QueryContext(
             deployment=self.deployment,
             grid=self.grid,
             streams=self.streams,
             grid_resolution=grid_resolution,
+            tracer=self.tracer,
         )
         self.models = list(models) if models is not None else [cls() for cls in ALL_MODELS]
         self.policy = policy or EstimateGreedyPolicy()
@@ -121,7 +135,23 @@ class PervasiveGridRuntime:
             radio_holders=(self.deployment,),
             on_node_change=on_node_change,
         )
-        return FaultInjector(domain)
+        return FaultInjector(domain, tracer=self.tracer)
+
+    # ------------------------------------------------------------------
+    @property
+    def monitor(self):
+        """The run's shared :class:`~repro.simkernel.monitor.Monitor`."""
+        return self.deployment.monitor
+
+    def export_trace(self, path) -> int:
+        """Write the run's trace as JSONL; returns the record count.
+
+        Raises ``RuntimeError`` unless the runtime was built with
+        ``trace=True``.
+        """
+        if not self.tracer.enabled:
+            raise RuntimeError("runtime built without trace=True; nothing to export")
+        return self.tracer.export(path)
 
     # ------------------------------------------------------------------
     def submit(

@@ -21,6 +21,7 @@ import typing
 import numpy as np
 
 from repro.faults.faults import Fault, FaultDomain, FaultEvent, NodeCrash
+from repro.observability.tracer import NOOP_TRACER, Tracer
 
 
 class FaultInjector:
@@ -40,11 +41,12 @@ class FaultInjector:
         Number of currently-injected, not-yet-recovered faults.
     """
 
-    def __init__(self, domain: FaultDomain) -> None:
+    def __init__(self, domain: FaultDomain, tracer: Tracer | None = None) -> None:
         self.domain = domain
         self.timeline: list[FaultEvent] = []
         self.active = 0
         self._scheduled = 0
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     def schedule(self, fault: Fault) -> None:
@@ -77,6 +79,10 @@ class FaultInjector:
         if phase == "inject":
             monitor.counter(f"faults.{fault.kind}").add(1)
         monitor.series("faults.active").record(self.domain.sim.now, float(self.active))
+        monitor.gauge("faults.active").set(float(self.active))
+        if self.tracer.enabled:
+            self.tracer.event(f"faults.{phase}", kind=fault.kind,
+                              detail=fault.describe(), active=self.active)
 
     def _inject(self, fault: Fault) -> None:
         fault.inject(self.domain)

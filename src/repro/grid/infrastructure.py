@@ -5,7 +5,8 @@ from __future__ import annotations
 import math
 import typing
 
-from repro.simkernel import Simulator
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, STATUS_ERROR, Tracer
+from repro.simkernel import Monitor, Simulator
 from repro.grid.job import ComputeJob, JobResult
 from repro.grid.resource import GridResource
 from repro.grid.scheduler import GridScheduler
@@ -38,6 +39,8 @@ class GridInfrastructure:
         sim: Simulator,
         site_rates: typing.Sequence[float] = (1e9, 1e12),
         uplink: Uplink | None = None,
+        monitor: Monitor | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.resources = [
@@ -46,6 +49,18 @@ class GridInfrastructure:
         ]
         self.scheduler = GridScheduler(self.resources)
         self.uplink = uplink or Uplink(sim)
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.set_instrumentation(self.monitor, self.tracer)
+
+    def set_instrumentation(self, monitor: Monitor | None, tracer: Tracer | None) -> None:
+        """Point the whole grid (sites, scheduler, uplink) at one
+        monitor/tracer pair; either may be None/no-op."""
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        for part in (self.scheduler, self.uplink, *self.resources):
+            part.monitor = monitor
+            part.tracer = self.tracer
 
     # ------------------------------------------------------------------
     @property
@@ -83,17 +98,31 @@ class GridInfrastructure:
         :meth:`GridScheduler.submit`).
         """
 
+        tracer = self.tracer
+        span = NOOP_SPAN
+        if tracer.enabled:
+            span = tracer.span("grid.offload", job_id=job.job_id, ops=job.ops,
+                               input_bits=job.input_bits, output_bits=job.output_bits)
+
         def leg(bits: float, then: typing.Callable[[], None]) -> None:
             if not self.uplink.online and not self.uplink.queue_when_offline:
+                if tracer.enabled:
+                    span.set(fail_reason="uplink-offline")
+                span.end(STATUS_ERROR)
                 if on_failure is None:
                     raise RuntimeError("uplink is offline")
                 on_failure("uplink-offline")
                 return
-            self.uplink.transfer(bits, then)
+            with tracer.use(span):
+                self.uplink.transfer(bits, then)
 
         def after_upload() -> None:
             def after_compute(result: JobResult) -> None:
                 if not result.success:
+                    if tracer.enabled:
+                        span.set(fail_reason=result.error or "job-failed",
+                                 site=result.resource)
+                    span.end(STATUS_ERROR)
                     if on_failure is not None:
                         on_failure(result.error or "job-failed")
                     elif on_complete is not None:
@@ -101,6 +130,9 @@ class GridInfrastructure:
                     return
 
                 def after_download() -> None:
+                    if tracer.enabled:
+                        span.set(site=result.resource)
+                    span.end()
                     if on_complete is not None:
                         # re-stamp finish time to include the download leg
                         on_complete(

@@ -6,6 +6,7 @@ import typing
 
 import numpy as np
 
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, STATUS_ERROR
 from repro.simkernel import Simulator
 from repro.grid.job import ComputeJob, JobResult
 
@@ -59,6 +60,9 @@ class GridResource:
         self.jobs_completed = 0
         self.jobs_failed = 0
         self.busy_seconds = 0.0
+        #: Instrumentation sinks, wired by :class:`GridInfrastructure`.
+        self.tracer = NOOP_TRACER
+        self.monitor = None
 
     @property
     def free_at(self) -> float:
@@ -94,6 +98,12 @@ class GridResource:
         submitted = self.sim.now
         started = self.free_at
         service = self.service_time(job)
+        if self.monitor is not None:
+            self.monitor.histogram("grid.queue_wait").observe(started - submitted)
+        span = NOOP_SPAN
+        if self.tracer.enabled:
+            span = self.tracer.span("grid.job", job_id=job.job_id, site=self.name,
+                                    ops=job.remaining_ops, wait_s=started - submitted)
         fails = self.fail_prob > 0.0 and float(self.rng.random()) < self.fail_prob
         if fails:
             # dies a uniform way through the remaining work; everything up
@@ -107,6 +117,9 @@ class GridResource:
             def fail() -> None:
                 job.checkpoint_fraction += (1.0 - job.checkpoint_fraction) * progress
                 self.jobs_failed += 1
+                if self.tracer.enabled:
+                    span.set(checkpoint=job.checkpoint_fraction)
+                span.end(STATUS_ERROR)
                 if on_complete is not None:
                     on_complete(
                         JobResult(
@@ -131,6 +144,7 @@ class GridResource:
         def complete() -> None:
             value = job.compute() if job.compute is not None else None
             self.jobs_completed += 1
+            span.end()
             if on_complete is not None:
                 on_complete(
                     JobResult(

@@ -6,6 +6,7 @@ import typing
 
 from repro.grid.job import ComputeJob, JobResult
 from repro.grid.resource import GridResource
+from repro.observability.tracer import NOOP_TRACER
 
 
 class GridScheduler:
@@ -27,6 +28,9 @@ class GridScheduler:
         self.resources = list(resources)
         self.dispatched = 0
         self.resubmissions = 0
+        #: Instrumentation sinks, wired by :class:`GridInfrastructure`.
+        self.tracer = NOOP_TRACER
+        self.monitor = None
 
     def best_resource(self, job: ComputeJob, exclude: set[str] = frozenset()) -> GridResource:
         """The site minimizing queue-wait + service time for ``job``.
@@ -59,6 +63,9 @@ class GridScheduler:
 
         def attempt(n: int, failed_sites: set[str]) -> GridResource:
             resource = self.best_resource(job, exclude=failed_sites)
+            if self.tracer.enabled:
+                self.tracer.event("grid.dispatch", job_id=job.job_id,
+                                  site=resource.name, attempt=n)
 
             def done(result: JobResult) -> None:
                 if result.success or n >= max_attempts:
@@ -67,6 +74,12 @@ class GridScheduler:
                     return
                 failed_sites.add(result.resource)
                 self.resubmissions += 1
+                if self.monitor is not None:
+                    self.monitor.counter("grid.jobs_resubmitted").add()
+                if self.tracer.enabled:
+                    self.tracer.event("grid.resubmit", job_id=job.job_id,
+                                      failed_site=result.resource, attempt=n + 1,
+                                      checkpoint=job.checkpoint_fraction)
                 attempt(n + 1, failed_sites)
 
             resource.submit(job, done)
@@ -74,4 +87,6 @@ class GridScheduler:
 
         first = attempt(1, set())
         self.dispatched += 1
+        if self.monitor is not None:
+            self.monitor.counter("grid.jobs_dispatched").add()
         return first

@@ -6,6 +6,7 @@ import math
 import typing
 
 
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER
 from repro.simkernel import Simulator
 
 
@@ -57,6 +58,10 @@ class Uplink:
         self._online = True
         self._subscribers: list[typing.Callable[[bool], None]] = []
         self._deferred: list[typing.Callable[[], None]] = []
+        #: Instrumentation sinks, wired by :class:`GridInfrastructure`
+        #: (or left as the no-ops).
+        self.tracer = NOOP_TRACER
+        self.monitor = None
 
     # ------------------------------------------------------------------
     # availability
@@ -80,6 +85,9 @@ class Uplink:
         self._online = value
         if not value:
             self.outages += 1
+        if self.tracer.enabled:
+            self.tracer.event("grid.uplink_edge", online=value,
+                              deferred=len(self._deferred))
         for callback in list(self._subscribers):
             callback(value)
         if value and self._deferred:
@@ -139,6 +147,10 @@ class Uplink:
         if not self._online:
             if not self.queue_when_offline:
                 raise RuntimeError("uplink is offline")
+            if self.monitor is not None:
+                self.monitor.counter("grid.uplink_deferred").add()
+            if self.tracer.enabled:
+                self.tracer.event("grid.uplink_deferred", bits=bits)
             self._deferred.append(lambda: self.transfer(bits, on_complete))
             return math.inf
         start = max(self._free_at, self.sim.now)
@@ -146,6 +158,18 @@ class Uplink:
         self._free_at = finish
         self.bits_transferred += bits
         self.transfers += 1
-        if on_complete is not None:
-            self.sim.schedule(finish - self.sim.now, on_complete, label="uplink-transfer")
+        if self.monitor is not None:
+            self.monitor.counter("grid.uplink_transfers").add()
+        span = NOOP_SPAN
+        if self.tracer.enabled:
+            span = self.tracer.span("grid.uplink", bits=bits,
+                                    wait_s=start - self.sim.now)
+        if on_complete is not None or span is not NOOP_SPAN:
+            def finish_transfer() -> None:
+                span.end()
+                if on_complete is not None:
+                    on_complete()
+
+            self.sim.schedule(finish - self.sim.now, finish_transfer,
+                              label="uplink-transfer")
         return finish

@@ -21,6 +21,7 @@ from repro.network.energy import Battery, RadioEnergyModel
 from repro.network.message import DeliveryReceipt, Message
 from repro.network.radio import RadioModel
 from repro.network.topology import Topology
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, STATUS_ERROR, Tracer
 
 
 class NetworkNode:
@@ -73,6 +74,11 @@ class WirelessNetwork:
         Instrumentation sink (counters: ``net.sent``, ``net.delivered``,
         ``net.dropped``, ``net.hops``, ``net.energy_j``; series:
         ``net.latency``).
+    tracer:
+        Span/event sink (default: the shared no-op).  Each unicast send
+        opens a ``net.send`` span that closes on delivery or drop, with
+        ``net.hop`` events per relay -- the hop-level causality the flat
+        counters cannot give.
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class WirelessNetwork:
         batteries: list[Battery] | None = None,
         rng: np.random.Generator | None = None,
         monitor: Monitor | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -96,6 +103,7 @@ class WirelessNetwork:
         self.nodes = [NetworkNode(i, batteries[i]) for i in range(topology.n_nodes)]
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.monitor = monitor or Monitor()
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     # ------------------------------------------------------------------
     # sending
@@ -115,7 +123,12 @@ class WirelessNetwork:
         if message.dst is None:
             raise ValueError("unicast send requires a destination; use broadcast_local")
         self.monitor.counter("net.sent").add()
-        self._hop(message, message.src, 0.0, on_complete, start_time=self.sim.now)
+        tracer = self.tracer
+        span = NOOP_SPAN
+        if tracer.enabled:
+            span = tracer.span("net.send", msg_id=message.msg_id, src=message.src,
+                               dst=message.dst, bits=message.size_bits)
+        self._hop(message, message.src, 0.0, on_complete, start_time=self.sim.now, span=span)
 
     def broadcast_local(self, src: int, message: Message) -> list[int]:
         """Deliver ``message`` to every living neighbor of ``src`` at once.
@@ -141,6 +154,9 @@ class WirelessNetwork:
             self.monitor.counter("net.energy_j").add(rx)
             delivered.append(nbr)
             self._deliver_later(nbr, message, hop_time)
+        if self.tracer.enabled:
+            self.tracer.event("net.broadcast", msg_id=message.msg_id, src=src,
+                              reached=len(delivered), neighbors=len(neighbors))
         return delivered
 
     # ------------------------------------------------------------------
@@ -153,6 +169,7 @@ class WirelessNetwork:
         energy_so_far: float,
         on_complete: typing.Callable[[DeliveryReceipt], None] | None,
         start_time: float,
+        span=NOOP_SPAN,
     ) -> None:
         dst = message.dst
         assert dst is not None
@@ -166,6 +183,9 @@ class WirelessNetwork:
             self.monitor.counter("net.delivered").add()
             self.monitor.counter("net.hops").add(receipt.hops)
             self.monitor.series("net.latency").record(self.sim.now, self.sim.now - start_time)
+            if self.tracer.enabled:
+                span.set(hops=receipt.hops, energy_j=receipt.energy_j)
+            span.end()
             node = self.nodes[dst]
             if node.receive is not None:
                 node.receive(message)
@@ -175,7 +195,7 @@ class WirelessNetwork:
 
         path = self.topology.shortest_path(current, dst)
         if path is None or len(path) < 2:
-            self._drop(message, energy_so_far, on_complete, "no-route")
+            self._drop(message, energy_so_far, on_complete, "no-route", span)
             return
         nxt = path[1]
 
@@ -186,18 +206,21 @@ class WirelessNetwork:
         self.monitor.counter("net.energy_j").add(tx)
 
         if self.radio.loss_prob and self.rng.random() < self.radio.loss_prob:
-            self._drop(message, energy_so_far + tx, on_complete, "loss")
+            self._drop(message, energy_so_far + tx, on_complete, "loss", span)
             return
 
         self._charge(nxt, rx)
         self.monitor.counter("net.energy_j").add(rx)
         message.hops.append(nxt)
+        if self.tracer.enabled:
+            span.event("net.hop", msg_id=message.msg_id, src=current, relay=nxt,
+                       energy_j=tx + rx)
         delay = self.radio.hop_time(message.size_bits)
         self.sim.schedule(
             delay,
-            lambda: self._hop(message, nxt, energy_so_far + tx + rx, on_complete, start_time)
+            lambda: self._hop(message, nxt, energy_so_far + tx + rx, on_complete, start_time, span)
             if self.topology.is_alive(nxt)
-            else self._drop(message, energy_so_far + tx + rx, on_complete, "dead-node"),
+            else self._drop(message, energy_so_far + tx + rx, on_complete, "dead-node", span),
             label=f"hop:{message.msg_id}",
         )
 
@@ -207,8 +230,12 @@ class WirelessNetwork:
         energy: float,
         on_complete: typing.Callable[[DeliveryReceipt], None] | None,
         reason: str,
+        span=NOOP_SPAN,
     ) -> None:
         self.monitor.counter("net.dropped").add()
+        if self.tracer.enabled:
+            span.set(drop_reason=reason)
+        span.end(STATUS_ERROR)
         if on_complete is not None:
             on_complete(
                 DeliveryReceipt(delivered=False, time=self.sim.now, hops=message.hop_count, energy_j=energy, reason=reason)

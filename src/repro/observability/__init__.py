@@ -1,0 +1,75 @@
+"""End-to-end observability for the pervasive-grid simulator.
+
+Three layers, all over *simulated* time:
+
+* :mod:`~repro.observability.tracer` -- span-based tracing with
+  parent/child causality and per-query trace ids; recording is
+  append-only so instrumentation does not distort benchmarks, and the
+  shared :data:`NOOP_TRACER` makes every instrumentation site free when
+  tracing is off.
+* :mod:`~repro.observability.metrics` -- the namespaced metric-name
+  conventions unifying the :class:`~repro.simkernel.monitor.Monitor`'s
+  counters/gauges/histograms/series under ``<subsystem>.<noun>`` names.
+* :mod:`~repro.observability.analysis` / ``export`` / ``report`` --
+  JSONL export, critical-path extraction that attributes 100% of a
+  span's end-to-end latency, per-subsystem rollups, and the
+  ``python -m repro.observability.report <trace.jsonl>`` CLI.
+
+Wiring: every subsystem accepts a tracer (defaulting to the no-op) and
+:class:`~repro.core.runtime.PervasiveGridRuntime` owns one for the whole
+stack (``PervasiveGridRuntime(..., trace=True)``).
+"""
+
+from repro.observability.tracer import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    SpanRecord,
+    TraceEvent,
+    Tracer,
+)
+from repro.observability.export import read_jsonl, record_from_dict, write_jsonl
+from repro.observability.analysis import (
+    PathSegment,
+    Trace,
+    critical_path,
+    event_counts,
+    self_times,
+    subsystem_rollup,
+)
+from repro.observability.metrics import (
+    ALIASES,
+    CONVENTIONS,
+    MetricSpec,
+    canonical_name,
+    canonical_summary,
+    rollup_by_subsystem,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "SpanRecord",
+    "TraceEvent",
+    "NOOP_TRACER",
+    "NOOP_SPAN",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "Trace",
+    "PathSegment",
+    "critical_path",
+    "self_times",
+    "subsystem_rollup",
+    "event_counts",
+    "write_jsonl",
+    "read_jsonl",
+    "record_from_dict",
+    "MetricSpec",
+    "CONVENTIONS",
+    "ALIASES",
+    "canonical_name",
+    "canonical_summary",
+    "rollup_by_subsystem",
+]

@@ -1,0 +1,216 @@
+"""Trace analysis: span trees, critical paths, subsystem rollups.
+
+The analyses answer the question flat counters cannot: *where did the
+time go?*  Given a trace (a live :class:`~repro.observability.tracer.Tracer`
+or records loaded from JSONL), :class:`Trace` indexes the span forest;
+:func:`critical_path` decomposes one root span's end-to-end latency into
+an ordered chain of child segments that accounts for exactly 100% of it;
+:func:`self_times` and :func:`subsystem_rollup` aggregate the same
+decomposition across the whole trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.observability.tracer import SpanRecord, TraceEvent, Tracer
+
+
+@dataclasses.dataclass(frozen=True)
+class PathSegment:
+    """One step of a critical path.
+
+    Attributes
+    ----------
+    span:
+        The span the time is attributed to.
+    start_s / end_s:
+        The sub-interval attributed (a span may contribute several
+        disjoint segments).
+    depth:
+        Tree depth below the root (0 = the root span itself).
+    """
+
+    span: SpanRecord
+    start_s: float
+    end_s: float
+    depth: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Trace:
+    """An indexed span forest plus its events.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Tracer`, or any iterable of span/event records (e.g.
+        from :func:`repro.observability.export.read_jsonl`).
+    """
+
+    def __init__(self, source: Tracer | typing.Iterable[SpanRecord | TraceEvent]) -> None:
+        records = source.records if isinstance(source, Tracer) else list(source)
+        self.spans: list[SpanRecord] = [r for r in records if isinstance(r, SpanRecord)]
+        self.events: list[TraceEvent] = [r for r in records if isinstance(r, TraceEvent)]
+        self._by_id: dict[int, SpanRecord] = {s.span_id: s for s in self.spans}
+        self._children: dict[int | None, list[SpanRecord]] = {}
+        for span in self.spans:
+            self._children.setdefault(span.parent_id, []).append(span)
+        for kids in self._children.values():
+            kids.sort(key=lambda s: (s.start_s, s.span_id))
+
+    # ------------------------------------------------------------------
+    def roots(self, trace_id: int | None = None) -> list[SpanRecord]:
+        """Root spans (optionally restricted to one trace id)."""
+        roots = self._children.get(None, [])
+        if trace_id is None:
+            return list(roots)
+        return [s for s in roots if s.trace_id == trace_id]
+
+    def children(self, span: SpanRecord) -> list[SpanRecord]:
+        """Direct children of ``span``, by start time."""
+        return list(self._children.get(span.span_id, []))
+
+    def span_by_id(self, span_id: int) -> SpanRecord | None:
+        """Lookup by span id (None when absent)."""
+        return self._by_id.get(span_id)
+
+    def subtree(self, root: SpanRecord) -> list[SpanRecord]:
+        """``root`` and every descendant, preorder."""
+        out: list[SpanRecord] = []
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            out.append(span)
+            stack.extend(reversed(self._children.get(span.span_id, [])))
+        return out
+
+    def events_under(self, root: SpanRecord) -> list[TraceEvent]:
+        """Every event attributed to ``root``'s subtree, by time."""
+        ids = {s.span_id for s in self.subtree(root)}
+        return sorted((e for e in self.events if e.parent_id in ids),
+                      key=lambda e: e.time_s)
+
+    def subsystems(self, root: SpanRecord | None = None) -> set[str]:
+        """Distinct subsystem prefixes present (optionally one subtree)."""
+        spans = self.subtree(root) if root is not None else self.spans
+        return {s.subsystem for s in spans}
+
+    def find(self, name_prefix: str) -> list[SpanRecord]:
+        """Spans whose name starts with ``name_prefix``, by start time."""
+        return sorted((s for s in self.spans if s.name.startswith(name_prefix)),
+                      key=lambda s: (s.start_s, s.span_id))
+
+    def is_connected(self, root: SpanRecord) -> bool:
+        """True iff every span sharing ``root``'s trace id is in its subtree
+        (i.e. the trace forms one connected parent/child tree)."""
+        tree_ids = {s.span_id for s in self.subtree(root)}
+        return all(s.span_id in tree_ids
+                   for s in self.spans if s.trace_id == root.trace_id)
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+
+def _clipped_children(trace: Trace, span: SpanRecord, lo: float, hi: float) -> list[SpanRecord]:
+    """Closed children of ``span`` overlapping [lo, hi], by start."""
+    kids = []
+    for child in trace.children(span):
+        if child.end_s is None:
+            continue
+        if child.end_s <= lo or child.start_s >= hi:
+            continue
+        kids.append(child)
+    return kids
+
+
+def critical_path(trace: Trace, root: SpanRecord) -> list[PathSegment]:
+    """The chain of spans that determined ``root``'s end-to-end latency.
+
+    Walks backwards from the root's end: the child whose completion
+    gated each instant claims the interval back to its own start, then
+    the walk recurses into that child; time covered by no child is the
+    span's own (self) time.  Segments are returned in chronological
+    order and **sum exactly to the root's duration** -- latency never
+    goes unattributed.
+    """
+    if root.end_s is None:
+        raise ValueError(f"span {root.name!r} is still open; end it before analysis")
+
+    segments: list[PathSegment] = []
+
+    def walk(span: SpanRecord, lo: float, hi: float, depth: int) -> None:
+        """Attribute [lo, hi] (within ``span``) working backwards."""
+        cursor = hi
+        for child in sorted(_clipped_children(trace, span, lo, hi),
+                            key=lambda s: (s.end_s, s.span_id), reverse=True):
+            child_end = min(child.end_s, cursor)
+            child_start = max(child.start_s, lo)
+            if child_end <= child_start:
+                continue
+            if child_end < cursor:
+                # span's own time between this child's end and the cursor
+                segments.append(PathSegment(span, child_end, cursor, depth))
+            walk(child, child_start, child_end, depth + 1)
+            cursor = child_start
+            if cursor <= lo:
+                break
+        if cursor > lo:
+            segments.append(PathSegment(span, lo, cursor, depth))
+
+    walk(root, root.start_s, root.end_s, 0)
+    segments.sort(key=lambda seg: seg.start_s)
+    return segments
+
+
+def self_times(trace: Trace, root: SpanRecord) -> dict[str, float]:
+    """Per-span-name *self* time under ``root`` (flame-graph attribution).
+
+    Each instant of the root's duration is attributed to the innermost
+    span covering it along the critical path, so the values sum to the
+    root's duration exactly.
+    """
+    out: dict[str, float] = {}
+    for seg in critical_path(trace, root):
+        out[seg.span.name] = out.get(seg.span.name, 0.0) + seg.duration_s
+    return out
+
+
+def subsystem_rollup(trace: Trace, root: SpanRecord) -> list[dict]:
+    """Critical-path time per subsystem under ``root``.
+
+    Returns rows ``{"subsystem", "self_s", "share", "spans"}`` sorted by
+    descending self time; shares sum to 1 (of the root's duration).
+    """
+    total = max(root.end_s - root.start_s, 0.0) if root.end_s is not None else 0.0
+    per_sub: dict[str, float] = {}
+    span_counts: dict[str, int] = {}
+    for seg in critical_path(trace, root):
+        sub = seg.span.subsystem
+        per_sub[sub] = per_sub.get(sub, 0.0) + seg.duration_s
+    for span in trace.subtree(root):
+        span_counts[span.subsystem] = span_counts.get(span.subsystem, 0) + 1
+    rows = [
+        {
+            "subsystem": sub,
+            "self_s": self_s,
+            "share": (self_s / total) if total > 0 else 0.0,
+            "spans": span_counts.get(sub, 0),
+        }
+        for sub, self_s in per_sub.items()
+    ]
+    rows.sort(key=lambda r: (-r["self_s"], r["subsystem"]))
+    return rows
+
+
+def event_counts(trace: Trace, root: SpanRecord | None = None) -> dict[str, int]:
+    """Events by name (whole trace, or one subtree), sorted by name."""
+    events = trace.events_under(root) if root is not None else trace.events
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.name] = counts.get(event.name, 0) + 1
+    return dict(sorted(counts.items()))

@@ -1,0 +1,128 @@
+"""Run analysis CLI: ``python -m repro.observability.report <trace.jsonl>``.
+
+Reads an exported trace and prints, for the selected root span (default:
+the longest root): the critical path of its end-to-end latency, the
+per-subsystem rollup, and the trace's event counts.  The same renderers
+are reused by the examples to close each run with a "where did the time
+go" table instead of a raw counter dump.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.observability.analysis import (
+    PathSegment,
+    Trace,
+    critical_path,
+    event_counts,
+    subsystem_rollup,
+)
+from repro.observability.export import read_jsonl
+from repro.observability.tracer import SpanRecord
+from repro.reporting import format_table
+
+
+def pick_root(trace: Trace, name_prefix: str | None = None) -> SpanRecord | None:
+    """The longest closed root span (optionally matching a name prefix)."""
+    roots = [r for r in trace.roots() if r.end_s is not None]
+    if name_prefix:
+        roots = [r for r in roots if r.name.startswith(name_prefix)]
+    if not roots:
+        return None
+    return max(roots, key=lambda s: (s.duration_s, -s.span_id))
+
+
+def render_critical_path(trace: Trace, root: SpanRecord, max_rows: int = 30) -> str:
+    """The critical path as an indented table; segments sum to 100%."""
+    segments = critical_path(trace, root)
+    total = max(root.duration_s, 1e-300)
+    rows: list[list[typing.Any]] = []
+    for seg in segments[:max_rows]:
+        rows.append([
+            "  " * seg.depth + seg.span.name,
+            seg.start_s,
+            seg.duration_s,
+            100.0 * seg.duration_s / total,
+        ])
+    if len(segments) > max_rows:
+        dropped = segments[max_rows:]
+        rows.append([f"... {len(dropped)} more segments",
+                     dropped[0].start_s,
+                     sum(s.duration_s for s in dropped),
+                     100.0 * sum(s.duration_s for s in dropped) / total])
+    header = (f"critical path of {root.name!r} "
+              f"(trace {root.trace_id}, {root.duration_s:.6g} s end-to-end)")
+    table = format_table(["segment", "t_start (s)", "dt (s)", "% of total"],
+                         rows, width=16)
+    # left-align the segment column for readability of the indentation
+    lines = [header, *table.splitlines()]
+    return "\n".join(lines)
+
+
+def render_rollup(trace: Trace, root: SpanRecord) -> str:
+    """Per-subsystem critical-path share table for one root span."""
+    rows = [
+        [r["subsystem"], r["self_s"], 100.0 * r["share"], r["spans"]]
+        for r in subsystem_rollup(trace, root)
+    ]
+    return "\n".join([
+        f"latency by subsystem under {root.name!r}:",
+        format_table(["subsystem", "self (s)", "% of total", "spans"], rows, width=14),
+    ])
+
+
+def render_events(trace: Trace) -> str:
+    """Event-name frequency table for the whole trace."""
+    counts = event_counts(trace)
+    if not counts:
+        return "no events recorded"
+    rows = [[name, count] for name, count in counts.items()]
+    return "\n".join(["events:", format_table(["event", "count"], rows, width=34)])
+
+
+def render_report(trace: Trace, root_prefix: str | None = None) -> str:
+    """The full report body (used by the CLI and the examples)."""
+    n_traces = len({s.trace_id for s in trace.spans})
+    parts = [
+        f"trace: {len(trace.spans)} spans, {len(trace.events)} events, "
+        f"{n_traces} trace ids, {len(trace.roots())} roots",
+    ]
+    root = pick_root(trace, root_prefix)
+    if root is None:
+        parts.append("no closed root span to analyze"
+                     + (f" (prefix {root_prefix!r})" if root_prefix else ""))
+    else:
+        parts.append("")
+        parts.append(render_critical_path(trace, root))
+        parts.append("")
+        parts.append(render_rollup(trace, root))
+    parts.append("")
+    parts.append(render_events(trace))
+    return "\n".join(parts)
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.report",
+        description="Analyze an exported JSONL trace: critical path, "
+                    "per-subsystem latency rollup, event counts.",
+    )
+    parser.add_argument("trace", help="path to a trace exported as JSONL")
+    parser.add_argument("--root", default=None, metavar="PREFIX",
+                        help="analyze the longest root span whose name starts "
+                             "with PREFIX (default: the longest root)")
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(Trace(records), args.root))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

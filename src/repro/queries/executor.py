@@ -18,6 +18,7 @@ import typing
 
 import numpy as np
 
+from repro.observability.tracer import NOOP_SPAN, STATUS_ERROR, STATUS_OK
 from repro.queries.ast import Query
 from repro.queries.classifier import QueryClass, classify
 from repro.queries.functions import compute_aggregate, is_aggregate
@@ -106,9 +107,22 @@ class QueryExecutor:
             query = parse_query(query)
         self.submitted += 1
         outcomes: list[QueryOutcome] = []
+        tracer = self.ctx.tracer
+        span = NOOP_SPAN
+        if tracer.enabled:
+            span = tracer.span("query.run", text=query.raw,
+                               continuous=query.is_continuous)
 
         if not query.is_continuous:
-            self._run_once(query, 0, lambda o: (outcomes.append(o), on_complete(outcomes)))
+            def finish(o: QueryOutcome) -> None:
+                outcomes.append(o)
+                if tracer.enabled:
+                    span.set(model=o.model, success=o.success)
+                span.end(STATUS_OK if o.success else STATUS_ERROR)
+                on_complete(outcomes)
+
+            with tracer.use(span):
+                self._run_once(query, 0, finish)
             return query
 
         epoch_s = float(query.epoch_s or 1.0)
@@ -119,13 +133,23 @@ class QueryExecutor:
         window: list[tuple[float, typing.Any]] = []  # (epoch time, raw value)
 
         def run_epoch(i: int) -> None:
+            epoch_span = NOOP_SPAN
+            if tracer.enabled:
+                epoch_span = tracer.span_under(span, "query.epoch", index=i)
+
             def done(outcome: QueryOutcome) -> None:
                 if query.window_s is not None and outcome.success:
                     outcome = self._apply_window(query, outcome, window)
                 if on_epoch is not None:
                     on_epoch(outcome)
                 outcomes.append(outcome)
+                if tracer.enabled:
+                    epoch_span.set(model=outcome.model, success=outcome.success)
+                epoch_span.end(STATUS_OK if outcome.success else STATUS_ERROR)
                 if i + 1 >= n_epochs or not self.ctx.deployment.alive_sensor_ids():
+                    if tracer.enabled:
+                        span.set(epochs=len(outcomes))
+                    span.end()
                     on_complete(outcomes)
                 else:
                     # next epoch starts one EPOCH after this one *started*
@@ -133,9 +157,11 @@ class QueryExecutor:
                     self.ctx.sim.schedule(delay, lambda: run_epoch(i + 1), label="epoch")
 
             epoch_start = self.ctx.sim.now
-            self._run_once(query, i, done)
+            with tracer.use(epoch_span):
+                self._run_once(query, i, done)
 
-        run_epoch(0)
+        with tracer.use(span):
+            run_epoch(0)
         return query
 
     # ------------------------------------------------------------------
@@ -146,6 +172,9 @@ class QueryExecutor:
         on_complete: typing.Callable[[QueryOutcome], None],
     ) -> None:
         qclass = classify(query)
+        tracer = self.ctx.tracer
+        monitor = self.ctx.deployment.monitor
+        monitor.counter("queries.epochs").add()
         targets = select_targets(self.ctx.deployment, query, self.ctx.rooms_per_side)
         if not targets:
             self._count_failure("no-targets")
@@ -158,10 +187,23 @@ class QueryExecutor:
             on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
                                      float("nan"), epoch_index, "no feasible model"))
             return
+        if tracer.enabled:
+            tracer.event("query.decision", model=decision.model.name,
+                         query_class=qclass.name, targets=len(targets),
+                         est_time_s=decision.estimate.time_s,
+                         est_energy_j=decision.estimate.energy_j)
         truth = self._ground_truth(query, targets)
+        exec_span = NOOP_SPAN
+        if tracer.enabled:
+            exec_span = tracer.span("query.execute", model=decision.model.name)
 
         def model_done(m: ModelOutcome) -> None:
+            exec_span.end(STATUS_OK if m.success else STATUS_ERROR)
             rel = self._relative_error(m.value, truth) if m.success else float("nan")
+            if m.success:
+                monitor.histogram("queries.latency").observe(m.time_s)
+            else:
+                self._count_failure("execution")
             self.decision_maker.feedback(
                 query, self.ctx, targets, decision, m.energy_j, m.time_s
             )
@@ -179,7 +221,8 @@ class QueryExecutor:
                 error=m.error,
             ))
 
-        decision.model.execute(query, self.ctx, targets, model_done)
+        with tracer.use(exec_span):
+            decision.model.execute(query, self.ctx, targets, model_done)
 
     # ------------------------------------------------------------------
     def _apply_window(

@@ -41,6 +41,7 @@ from repro.grid.infrastructure import GridInfrastructure
 from repro.pde.grid import RectGrid
 from repro.pde.heat import HeatSolver
 from repro.pde.interpolate import readings_to_grid
+from repro.observability.tracer import NOOP_TRACER, STATUS_ERROR, STATUS_OK, Tracer
 from repro.queries.ast import Query
 from repro.queries.functions import compute_aggregate, is_aggregate
 from repro.sensors.deployment import SensorDeployment
@@ -53,6 +54,13 @@ READING_BITS = Reading.SIZE_BITS
 QUERY_BITS = 512.0
 #: Wire size of a scalar result message.
 RESULT_BITS = 256.0
+
+
+def _noop_closer(ok: bool = True) -> None:
+    return None
+
+
+_NOOP_CLOSER = _noop_closer
 
 
 def complex_ops(n_grid_points: int) -> float:
@@ -86,6 +94,9 @@ class QueryContext:
     rooms_per_side:
         Spatial partition used by the ``room`` attribute and by region
         averaging.
+    tracer:
+        Span/event sink shared by the executor and every execution model
+        (default: the shared no-op tracer).
     """
 
     deployment: SensorDeployment
@@ -95,6 +106,7 @@ class QueryContext:
     streams: RandomStreams | None = None
     grid_resolution: int = 40
     rooms_per_side: int = 3
+    tracer: Tracer = NOOP_TRACER
 
     def __post_init__(self) -> None:
         if self.streams is None:
@@ -260,6 +272,37 @@ class ExecutionModel:
             if r is not None:
                 readings.append(r)
         return readings
+
+    def _trace_collect(
+        self,
+        ctx: QueryContext,
+        requested: int,
+        returned: int,
+        messages: float,
+        participating: int,
+        wireless_s: float,
+        bits: float = 0.0,
+    ):
+        """Record the sampling event and a ``net.collect`` span covering
+        this plan's wireless phase (``[now, now + wireless_s]``).
+
+        Returns a closer ``close(ok=True)`` for the completion callback;
+        analytic plans know the phase length up front, so the span is
+        stamped with its true end rather than the callback's time.  Free
+        (a shared no-op) when tracing is off.
+        """
+        tracer = ctx.tracer
+        if not tracer.enabled:
+            return _NOOP_CLOSER
+        tracer.event("sensors.sample", requested=requested, returned=returned)
+        span = tracer.span("net.collect", messages=messages,
+                           participating=participating, bits=bits)
+        end_t = ctx.sim.now + wireless_s
+
+        def close(ok: bool = True) -> None:
+            span.end_at(end_t, STATUS_OK if ok else STATUS_ERROR)
+
+        return close
 
     @staticmethod
     def filter_readings(query: Query, readings: list[Reading]) -> list[Reading]:

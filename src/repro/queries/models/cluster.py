@@ -114,8 +114,12 @@ class ClusterModel(ExecutionModel):
         total_s = (flood.latency_s + cost.latency_s) * time_factor + result_s
         actual_energy = (flood.energy_j + cost.energy_j) * energy_factor
         data_bits = cost.bits_total + QUERY_BITS
+        close_collect = self._trace_collect(
+            ctx, len(targets), len(readings), cost.messages + flood.messages,
+            len(cost.participating), total_s, bits=cost.bits_total)
 
         def finish() -> None:
+            close_collect(bool(readings))
             if not readings:
                 on_complete(ModelOutcome(False, None, self.name, total_s,
                                          actual_energy, data_bits, 0, "no readings"))

@@ -100,17 +100,21 @@ class GridOffloadModel(ExecutionModel):
         )
         wireless_s = (flood.latency_s + collect.latency_s) * time_factor
         actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+        close_collect = self._trace_collect(
+            ctx, len(targets), len(readings), collect.messages + flood.messages,
+            len(collect.participating), wireless_s, bits=collect.bits_total)
 
         if not readings:
-            ctx.sim.schedule(
-                wireless_s,
-                lambda: on_complete(ModelOutcome(False, None, self.name, wireless_s,
-                                                 actual_energy, est.data_bits, 0, "no readings")),
-                label=f"exec:{self.name}",
-            )
+            def fail_no_readings() -> None:
+                close_collect(False)
+                on_complete(ModelOutcome(False, None, self.name, wireless_s,
+                                         actual_energy, est.data_bits, 0, "no readings"))
+
+            ctx.sim.schedule(wireless_s, fail_no_readings, label=f"exec:{self.name}")
             return
 
         def start_offload() -> None:
+            close_collect()
             job.compute = lambda: self.compute_answer(query, ctx, readings)
             started_at = ctx.sim.now
 

@@ -79,8 +79,12 @@ class HandheldModel(ExecutionModel):
         )
         total_s = (flood.latency_s + collect.latency_s + forward_s) * time_factor + compute_s
         actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+        close_collect = self._trace_collect(
+            ctx, len(targets), len(readings), collect.messages + flood.messages,
+            len(collect.participating), total_s - compute_s, bits=collect.bits_total)
 
         def finish() -> None:
+            close_collect(bool(readings))
             if not readings:
                 on_complete(ModelOutcome(False, None, self.name, total_s,
                                          actual_energy, est.data_bits, 0, "no readings"))

@@ -189,8 +189,13 @@ class RegionAverageModel(ExecutionModel):
         wireless_s = (flood.latency_s + member_latency + rep_collect.latency_s) * time_factor
         total_s = wireless_s + compute_s + result_s
         actual_energy = (flood.energy_j + float(per_node.sum()) + rep_collect.energy_j) * energy_factor
+        close_collect = self._trace_collect(
+            ctx, len(targets), len(readings),
+            member_msgs + rep_collect.messages + flood.messages,
+            len(rep_collect.participating), wireless_s, bits=rep_collect.bits_total)
 
         def finish() -> None:
+            close_collect(bool(pseudo))
             if not pseudo:
                 on_complete(ModelOutcome(False, None, self.name, total_s,
                                          actual_energy, est.data_bits, 0, "no readings"))

@@ -97,8 +97,14 @@ class InNetworkTreeModel(ExecutionModel):
         readings = self.filter_readings(query, readings)
         total_s = (flood.latency_s + collect.latency_s) * time_factor + result_s
         actual_energy = (flood.energy_j + collect.energy_j) * energy_factor
+        # the whole in-network convergecast (flood + aggregate + result
+        # hop) is radio time, so one span covers the full interval
+        close_collect = self._trace_collect(
+            ctx, len(targets), len(readings), collect.messages + flood.messages,
+            len(collect.participating), total_s, bits=collect.bits_total)
 
         def finish() -> None:
+            close_collect(bool(readings))
             if not readings:
                 on_complete(ModelOutcome(False, None, self.name, total_s,
                                          actual_energy, est.data_bits, 0, "no readings"))

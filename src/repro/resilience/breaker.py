@@ -14,6 +14,7 @@ simulation alive.
 
 from __future__ import annotations
 
+from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.simkernel import Monitor, Simulator
 
 CLOSED = "closed"
@@ -56,11 +57,19 @@ class CircuitBreaker:
         self._opened_at = -1.0
         self._probing = False
         self.trips = 0
+        #: Span/event sink (wired by :class:`BreakerBoard` when it has one).
+        self.tracer = NOOP_TRACER
+
+    def _transition(self, to_state: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.event("resilience.breaker_transition", provider=self.name,
+                              from_state=self._state, to_state=to_state)
+        self._state = to_state
 
     # ------------------------------------------------------------------
     def _poll(self) -> None:
         if self._state == OPEN and self.sim.now - self._opened_at >= self.recovery_timeout_s:
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             self._probing = False
 
     @property
@@ -99,7 +108,8 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Provider answered: close the circuit, reset failure count."""
         self._poll()
-        self._state = CLOSED
+        if self._state != CLOSED:
+            self._transition(CLOSED)
         self._failures = 0
         self._probing = False
 
@@ -111,14 +121,14 @@ class CircuitBreaker:
         self._poll()
         if self._state == HALF_OPEN:
             # failed probe: straight back to open for a fresh timeout
-            self._state = OPEN
+            self._transition(OPEN)
             self._opened_at = self.sim.now
             self._probing = False
             self.trips += 1
             return True
         self._failures += 1
         if self._state == CLOSED and self._failures >= self.failure_threshold:
-            self._state = OPEN
+            self._transition(OPEN)
             self._opened_at = self.sim.now
             self.trips += 1
             return True
@@ -132,9 +142,11 @@ class BreakerBoard:
     when one is attached.
     """
 
-    def __init__(self, sim: Simulator, monitor: Monitor | None = None, **breaker_kwargs) -> None:
+    def __init__(self, sim: Simulator, monitor: Monitor | None = None,
+                 tracer: Tracer | None = None, **breaker_kwargs) -> None:
         self.sim = sim
         self.monitor = monitor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.breaker_kwargs = breaker_kwargs
         self._breakers: dict[str, CircuitBreaker] = {}
 
@@ -143,6 +155,7 @@ class BreakerBoard:
         breaker = self._breakers.get(provider)
         if breaker is None:
             breaker = CircuitBreaker(self.sim, name=provider, **self.breaker_kwargs)
+            breaker.tracer = self.tracer
             self._breakers[provider] = breaker
         return breaker
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.simkernel import Simulator, TimeSeries
 
 
@@ -65,6 +66,9 @@ class HedgedCall:
         ``done``.
     on_complete:
         Called exactly once, with the first result delivered.
+    tracer:
+        Span/event sink; hedge waves after the primary emit a
+        ``resilience.hedge`` event.
     """
 
     def __init__(
@@ -73,6 +77,7 @@ class HedgedCall:
         hedge: Hedge,
         launch: typing.Callable[[int, typing.Callable[[typing.Any], None]], None],
         on_complete: typing.Callable[[typing.Any], None],
+        tracer: Tracer | None = None,
     ) -> None:
         self.sim = sim
         self.hedge = hedge
@@ -81,6 +86,7 @@ class HedgedCall:
         self.done = False
         self.waves = 0
         self.won_by: int | None = None
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
 
     def start(self) -> None:
         """Fire the primary request and arm the hedge timer."""
@@ -90,6 +96,8 @@ class HedgedCall:
         if self.done:
             return
         self.waves = wave + 1
+        if wave > 0 and self.tracer.enabled:
+            self.tracer.event("resilience.hedge", kind="call", wave=wave)
         self._launch(wave, lambda result, _w=wave: self._finish(_w, result))
         if wave < self.hedge.max_hedges:
             self.sim.schedule(self.hedge.delay_s, lambda: self._fire(wave + 1),

@@ -32,7 +32,7 @@ from repro.simkernel.event import Event, EventHandle
 from repro.simkernel.simulator import Simulator, SimulationError
 from repro.simkernel.process import Process, Delay, Waiter, Interrupt
 from repro.simkernel.rng import RandomStreams
-from repro.simkernel.monitor import Monitor, TimeSeries, Counter
+from repro.simkernel.monitor import Monitor, TimeSeries, Counter, Gauge, Histogram
 
 __all__ = [
     "Event",
@@ -47,4 +47,6 @@ __all__ = [
     "Monitor",
     "TimeSeries",
     "Counter",
+    "Gauge",
+    "Histogram",
 ]

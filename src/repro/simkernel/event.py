@@ -45,6 +45,10 @@ class Event:
         (lazy deletion -- cheaper than heap surgery).
     label:
         Optional human-readable tag used by tracing.
+    trace_ctx:
+        Span captured from the scheduler's tracer at schedule time (None
+        when tracing is disabled); restored as the current span around
+        the callback, so causality follows work across scheduled hops.
     """
 
     time: float
@@ -53,6 +57,7 @@ class Event:
     callback: typing.Callable[[], None] = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(default=False, compare=False)
     label: str = dataclasses.field(default="", compare=False)
+    trace_ctx: typing.Any = dataclasses.field(default=None, compare=False)
 
 
 class EventHandle:

@@ -1,9 +1,14 @@
 """Statistics collection for simulation runs.
 
-:class:`Monitor` aggregates named :class:`Counter` and :class:`TimeSeries`
-instruments.  Instruments are cheap to record into (append / integer add)
-and reduce to summary statistics only on demand, so instrumentation does
-not distort timing-sensitive benchmarks.
+:class:`Monitor` aggregates named :class:`Counter`, :class:`Gauge`,
+:class:`Histogram` and :class:`TimeSeries` instruments.  Instruments are
+cheap to record into (append / scalar assignment) and reduce to summary
+statistics only on demand, so instrumentation does not distort
+timing-sensitive benchmarks.
+
+Naming conventions for instruments live in
+:mod:`repro.observability.metrics` (``<subsystem>.<noun>[_<unit>]``);
+:meth:`Monitor.merge` combines monitors across benchmark repetitions.
 """
 
 from __future__ import annotations
@@ -34,6 +39,70 @@ class Counter:
         """Zero the counter (used between benchmark repetitions)."""
         self.value = 0.0
         self.increments = 0
+
+
+@dataclasses.dataclass
+class Gauge:
+    """A last-value-wins scalar (queue depth, active faults, % battery)."""
+
+    name: str
+    value: float = math.nan
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the instrument's current value (must be finite)."""
+        if not math.isfinite(value):
+            raise ValueError(f"gauge {self.name!r}: value must be finite, got {value!r}")
+        self.value = float(value)
+        self.updates += 1
+
+    def reset(self) -> None:
+        """Forget the value (used between benchmark repetitions)."""
+        self.value = math.nan
+        self.updates = 0
+
+
+class Histogram:
+    """An append-only distribution of observations (latencies, sizes).
+
+    Observations are buffered in a Python list and reduced lazily, like
+    :class:`TimeSeries` but without the time axis -- the instrument for
+    "what did the distribution look like", not "how did it evolve".
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Observations as a float64 array (copy)."""
+        return np.asarray(self._values, dtype=np.float64)
+
+    def mean(self) -> float:
+        """Arithmetic mean (nan when empty)."""
+        return float(np.mean(self._values)) if self._values else math.nan
+
+    def max(self) -> float:
+        """Largest observation (nan when empty)."""
+        return float(np.max(self._values)) if self._values else math.nan
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (nan when empty)."""
+        return float(np.percentile(self._values, q)) if self._values else math.nan
+
+    def extend(self, other: "Histogram") -> None:
+        """Append every observation of ``other``."""
+        self._values.extend(other._values)
 
 
 class TimeSeries:
@@ -94,6 +163,8 @@ class Monitor:
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._series: dict[str, TimeSeries] = {}
 
     def counter(self, name: str) -> Counter:
@@ -103,6 +174,22 @@ class Monitor:
             counter = Counter(name)
             self._counters[name] = counter
         return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge called ``name``."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name)
+            self._gauges[name] = gauge
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram called ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name)
+            self._histograms[name] = histogram
+        return histogram
 
     def series(self, name: str) -> TimeSeries:
         """Get or create the time series called ``name``."""
@@ -117,11 +204,65 @@ class Monitor:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
     def summary(self) -> dict[str, typing.Any]:
-        """A flat summary dict (counters + per-series mean/total/max)."""
-        out: dict[str, typing.Any] = dict(self.counters())
+        """A flat summary dict, deterministically ordered.
+
+        Per counter: its value under the bare name plus
+        ``<name>.increments`` (so rates per recording can be derived);
+        then gauges, histogram reductions, and per-series
+        mean/total/max.  Keys are emitted in sorted order within each
+        instrument kind, so two runs of the same workload diff cleanly.
+        """
+        out: dict[str, typing.Any] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+            out[f"{name}.increments"] = counter.increments
+        for name, gauge in sorted(self._gauges.items()):
+            if gauge.updates:
+                out[name] = gauge.value
+        for name, histogram in sorted(self._histograms.items()):
+            if len(histogram):
+                out[f"{name}.count"] = len(histogram)
+                out[f"{name}.mean"] = histogram.mean()
+                out[f"{name}.p50"] = histogram.percentile(50)
+                out[f"{name}.p95"] = histogram.percentile(95)
+                out[f"{name}.max"] = histogram.max()
         for name, series in sorted(self._series.items()):
             if len(series):
                 out[f"{name}.mean"] = series.mean()
                 out[f"{name}.total"] = series.total()
                 out[f"{name}.max"] = series.max()
         return out
+
+    def merge(self, other: "Monitor") -> "Monitor":
+        """Fold ``other``'s instruments into this monitor, in place.
+
+        Collision semantics, per instrument kind:
+
+        * counters: values and increment counts both add;
+        * gauges: last writer wins -- ``other``'s value replaces ours
+          when it has been set (merging repetitions keeps the most
+          recent reading);
+        * histograms: observation lists concatenate;
+        * time series: sample lists concatenate in ``other``'s order
+          (repetition *i+1*'s virtual clock restarts, so callers who
+          need a global axis offset times themselves).
+
+        Returns ``self`` so reductions chain:
+        ``Monitor().merge(a).merge(b).summary()``.
+        """
+        for name, counter in other._counters.items():
+            mine = self.counter(name)
+            mine.value += counter.value
+            mine.increments += counter.increments
+        for name, gauge in other._gauges.items():
+            if gauge.updates:
+                mine_g = self.gauge(name)
+                mine_g.value = gauge.value
+                mine_g.updates += gauge.updates
+        for name, histogram in other._histograms.items():
+            self.histogram(name).extend(histogram)
+        for name, series in other._series.items():
+            mine_s = self.series(name)
+            mine_s._times.extend(series._times)
+            mine_s._values.extend(series._values)
+        return self

@@ -43,6 +43,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        #: Optional :class:`repro.observability.tracer.Tracer`.  When set
+        #: (and enabled), the simulator captures the tracer's current
+        #: span at ``schedule()`` time and restores it around the
+        #: callback, so trace causality follows work across event hops.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # clock
@@ -96,7 +101,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} (now={self._now!r}); time must be finite and >= now"
             )
-        event = Event(time=float(time), priority=priority, seq=self._seq, callback=callback, label=label)
+        tracer = self.tracer
+        ctx = tracer._capture() if tracer is not None and tracer.enabled else None
+        event = Event(time=float(time), priority=priority, seq=self._seq,
+                      callback=callback, label=label, trace_ctx=ctx)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return EventHandle(event)
@@ -117,7 +125,17 @@ class Simulator:
             self._now = event.time
             self._events_executed += 1
             callback, event.callback = event.callback, _already_fired
-            callback()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                # run under the span current at schedule time (possibly
+                # none), not whatever span the stepping code is inside
+                saved = tracer._activate(event.trace_ctx)
+                try:
+                    callback()
+                finally:
+                    tracer._deactivate(saved)
+            else:
+                callback()
             return True
         return False
 

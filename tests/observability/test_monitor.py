@@ -1,0 +1,126 @@
+"""Monitor satellites: summary determinism, increments, merge semantics."""
+
+import math
+
+import pytest
+
+from repro.simkernel import Monitor
+
+
+class TestSummary:
+    def test_counters_report_value_and_increments(self):
+        monitor = Monitor()
+        monitor.counter("net.sent").add(2.5)
+        monitor.counter("net.sent").add(0.5)
+        summary = monitor.summary()
+        assert summary["net.sent"] == 3.0
+        assert summary["net.sent.increments"] == 2
+
+    def test_key_order_is_deterministic(self):
+        """Two monitors fed identical data in different insertion orders
+        produce identical summaries (same keys, same order)."""
+        a, b = Monitor(), Monitor()
+        for m, order in ((a, ("z.one", "a.two", "m.mid")),
+                         (b, ("m.mid", "z.one", "a.two"))):
+            for name in order:
+                m.counter(name).add()
+            m.gauge("g.depth").set(4.0)
+            m.histogram("h.lat").observe(1.0)
+            m.series("s.t").record(0.0, 1.0)
+        assert list(a.summary()) == list(b.summary())
+        assert a.summary() == b.summary()
+
+    def test_empty_instruments_are_omitted(self):
+        monitor = Monitor()
+        monitor.gauge("g.unset")
+        monitor.histogram("h.empty")
+        monitor.series("s.empty")
+        assert monitor.summary() == {}
+
+    def test_histogram_reductions(self):
+        monitor = Monitor()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            monitor.histogram("queries.latency").observe(v)
+        summary = monitor.summary()
+        assert summary["queries.latency.count"] == 4
+        assert summary["queries.latency.mean"] == 2.5
+        assert summary["queries.latency.max"] == 4.0
+        assert summary["queries.latency.p50"] == 2.5
+
+
+class TestMerge:
+    def test_counter_collision_adds_values_and_increments(self):
+        a, b = Monitor(), Monitor()
+        a.counter("net.sent").add(2)
+        a.counter("net.sent").add(3)
+        b.counter("net.sent").add(10)
+        a.merge(b)
+        assert a.counter("net.sent").value == 15.0
+        assert a.counter("net.sent").increments == 3
+
+    def test_disjoint_counters_union(self):
+        a, b = Monitor(), Monitor()
+        a.counter("net.sent").add()
+        b.counter("grid.jobs_dispatched").add()
+        a.merge(b)
+        assert a.counters() == {"grid.jobs_dispatched": 1.0, "net.sent": 1.0}
+
+    def test_gauge_collision_last_writer_wins(self):
+        a, b = Monitor(), Monitor()
+        a.gauge("faults.active").set(3.0)
+        b.gauge("faults.active").set(1.0)
+        a.merge(b)
+        assert a.gauge("faults.active").value == 1.0
+        assert a.gauge("faults.active").updates == 2
+
+    def test_unset_gauge_does_not_clobber(self):
+        a, b = Monitor(), Monitor()
+        a.gauge("faults.active").set(3.0)
+        b.gauge("faults.active")  # created but never set
+        a.merge(b)
+        assert a.gauge("faults.active").value == 3.0
+        assert a.gauge("faults.active").updates == 1
+
+    def test_histogram_collision_concatenates(self):
+        a, b = Monitor(), Monitor()
+        a.histogram("queries.latency").observe(1.0)
+        b.histogram("queries.latency").observe(3.0)
+        b.histogram("queries.latency").observe(5.0)
+        a.merge(b)
+        assert list(a.histogram("queries.latency").values) == [1.0, 3.0, 5.0]
+
+    def test_series_collision_concatenates_in_other_order(self):
+        a, b = Monitor(), Monitor()
+        a.series("faults.active").record(0.0, 1.0)
+        b.series("faults.active").record(0.5, 2.0)
+        b.series("faults.active").record(1.5, 0.0)
+        a.merge(b)
+        assert list(a.series("faults.active").times) == [0.0, 0.5, 1.5]
+        assert list(a.series("faults.active").values) == [1.0, 2.0, 0.0]
+
+    def test_merge_chains_and_leaves_other_untouched(self):
+        a, b, c = Monitor(), Monitor(), Monitor()
+        b.counter("x.n").add(1)
+        c.counter("x.n").add(2)
+        result = a.merge(b).merge(c)
+        assert result is a
+        assert a.counter("x.n").value == 3.0
+        assert b.counter("x.n").value == 1.0
+        assert c.counter("x.n").value == 2.0
+
+
+class TestInstrumentGuards:
+    def test_counter_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Monitor().counter("x.n").add(math.inf)
+
+    def test_gauge_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            Monitor().gauge("x.n").set(math.nan)
+
+    def test_counter_reset(self):
+        counter = Monitor().counter("x.n")
+        counter.add(5)
+        counter.reset()
+        assert counter.value == 0.0
+        assert counter.increments == 0

@@ -1,0 +1,119 @@
+"""Satellite: disabled tracing must be free.
+
+Two claims, both load-bearing for leaving the instrumentation wired into
+every subsystem by default:
+
+* the disabled record path retains **zero allocations** -- recording into
+  a no-op tracer leaves the process's allocated-block count unchanged;
+* the disabled instrumentation adds **< 5% wall-clock** to an E3-style
+  response-time run, bounded by (record sites exercised) x (cost of one
+  no-op record call), both measured here rather than assumed.
+"""
+
+import gc
+import sys
+import time
+
+import pytest
+
+from repro.core.runtime import PervasiveGridRuntime
+from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, Tracer
+from repro.queries.models import GridOffloadModel
+from repro.simkernel import Simulator
+
+E3_QUERIES = (
+    "SELECT temperature FROM sensors WHERE temperature > 0",
+    "SELECT AVG(temperature) FROM sensors",
+    "SELECT DISTRIBUTION(temperature) FROM sensors",
+)
+
+
+def record_path(tracer, n: int) -> None:
+    """The disabled record path exactly as instrumentation sites write it:
+    guarded attribute-rich calls, unguarded bare begin/end."""
+    for _ in range(n):
+        span = tracer.span("net.send")
+        if tracer.enabled:
+            span.set(src=0, dst=1)
+            tracer.event("net.hop", relay=2)
+        with tracer.use(span):
+            child = tracer.span("grid.uplink")
+            child.end_at(1.0)
+        span.end()
+
+
+class TestZeroAllocation:
+    def test_disabled_record_path_retains_nothing(self):
+        tracer = Tracer(Simulator(), enabled=False)
+        record_path(tracer, 1000)  # warm up caches, bytecode specialization
+        gc.collect()
+        record_path(tracer, 1000)  # repopulate freelists the collect drained
+        deltas = []
+        for _ in range(5):
+            before = sys.getallocatedblocks()
+            record_path(tracer, 1000)
+            deltas.append(sys.getallocatedblocks() - before)
+        # steady state: recording into the disabled tracer retains nothing
+        assert deltas[-3:] == [0, 0, 0], deltas
+        assert len(tracer) == 0
+
+    def test_noop_singletons_are_shared(self):
+        assert NOOP_TRACER.span("a.b") is NOOP_SPAN
+        assert Tracer(None, enabled=False).span("a.b") is NOOP_SPAN
+
+    def test_disabled_runtime_records_no_trace(self):
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=5)
+        rt.query("SELECT AVG(temperature) FROM sensors")
+        assert rt.tracer is NOOP_TRACER
+        assert len(rt.tracer) == 0
+        with pytest.raises(RuntimeError):
+            rt.export_trace("/dev/null")
+
+
+class TestWallClockOverhead:
+    def test_disabled_instrumentation_under_five_percent_of_e3(self):
+        def run_e3(trace: bool):
+            rt = PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=3,
+                                      trace=trace,
+                                      models=[GridOffloadModel()])
+            start = time.perf_counter()
+            for text in E3_QUERIES:
+                rt.query(text)
+            return time.perf_counter() - start, rt
+
+        # how many record calls an E3-style run actually makes: count the
+        # records a *traced* twin produces, padded 5x for guard checks
+        # that record nothing (feasibility branches, disabled events)
+        _, traced = run_e3(trace=True)
+        n_sites = 5 * max(len(traced.tracer), 1)
+
+        # per-call cost of the disabled record path, amortized
+        reps = 20_000
+        tracer = Tracer(Simulator(), enabled=False)
+        record_path(tracer, 200)  # warm-up
+        t0 = time.perf_counter()
+        record_path(tracer, reps)
+        per_call = (time.perf_counter() - t0) / reps
+
+        # the run itself, with tracing off (median of 3 to steady timing)
+        baseline = sorted(run_e3(trace=False)[0] for _ in range(3))[1]
+
+        overhead = n_sites * per_call
+        assert overhead < 0.05 * baseline, (
+            f"disabled tracing would cost {overhead * 1e3:.3f} ms on a "
+            f"{baseline * 1e3:.1f} ms E3 run "
+            f"({n_sites} sites x {per_call * 1e9:.0f} ns)")
+
+    def test_tracing_does_not_change_simulation_results(self):
+        """Determinism guard: the traced run computes the same answers in
+        the same virtual time as the untraced run."""
+        def answers(trace: bool):
+            rt = PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=3,
+                                      trace=trace,
+                                      models=[GridOffloadModel()])
+            out = [(o.success, o.model, o.time_s, repr(o.value))
+                   for text in E3_QUERIES for o in rt.query(text)]
+            return out, rt.sim.now
+
+        plain, traced = answers(False), answers(True)
+        assert plain == traced

@@ -1,0 +1,234 @@
+"""Tracer semantics: span trees, trace ids, context propagation."""
+
+import pytest
+
+from repro.observability.tracer import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    STATUS_ERROR,
+    STATUS_OK,
+    Span,
+    Tracer,
+)
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def tracer(sim):
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    return tracer
+
+
+class TestSpanTree:
+    def test_nested_context_managers_form_parent_child(self, tracer):
+        with tracer.span("query.run") as root:
+            with tracer.span("net.send") as child:
+                pass
+        assert child.record.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert root.record.parent_id is None
+
+    def test_sibling_roots_get_distinct_trace_ids(self, tracer):
+        with tracer.span("query.run") as a:
+            pass
+        with tracer.span("query.run") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_span_under_explicit_parent(self, tracer):
+        root = tracer.span("query.run")
+        child = tracer.span_under(root, "query.epoch", index=3)
+        assert child.record.parent_id == root.span_id
+        assert child.trace_id == root.trace_id
+        assert child.record.attrs == {"index": 3}
+
+    def test_span_under_none_starts_new_root(self, tracer):
+        with tracer.span("query.run"):
+            orphan = tracer.span_under(None, "session.side")
+        assert orphan.record.parent_id is None
+
+    def test_ended_parent_does_not_adopt(self, tracer):
+        root = tracer.span("query.run")
+        root.end()
+        child = tracer.span_under(root, "net.send")
+        assert child.record.parent_id is None
+        assert child.trace_id != root.trace_id
+
+    def test_exception_exit_marks_error(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("net.send") as span:
+                raise RuntimeError("boom")
+        assert span.record.status == STATUS_ERROR
+        assert span.ended
+
+    def test_subsystem_is_first_dotted_component(self, tracer):
+        with tracer.span("grid.uplink") as span:
+            pass
+        assert span.record.subsystem == "grid"
+
+
+class TestTiming:
+    def test_span_brackets_virtual_time(self, sim, tracer):
+        span = tracer.span("net.send")
+        sim.schedule(2.5, span.end)
+        sim.run(until=10.0)
+        assert span.record.start_s == 0.0
+        assert span.record.end_s == 2.5
+        assert span.record.duration_s == 2.5
+
+    def test_end_is_idempotent(self, sim, tracer):
+        span = tracer.span("net.send")
+        span.end()
+        sim.schedule(1.0, lambda: span.end(STATUS_ERROR))
+        sim.run(until=2.0)
+        assert span.record.end_s == 0.0
+        assert span.record.status == STATUS_OK
+
+    def test_end_at_stamps_explicit_time(self, tracer):
+        span = tracer.span("net.collect")
+        span.end_at(7.25)
+        assert span.record.end_s == 7.25
+        span.end_at(99.0)  # idempotent
+        assert span.record.end_s == 7.25
+
+    def test_end_at_clamps_to_start(self, sim, tracer):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=6.0)
+        span = tracer.span("net.collect")
+        span.end_at(1.0)
+        assert span.record.end_s == span.record.start_s == sim.now == 6.0
+
+
+class TestContextPropagation:
+    def test_scheduled_callback_inherits_span(self, sim, tracer):
+        seen = []
+        root = tracer.span("query.run")  # held open across the hop
+        with tracer.use(root):
+            sim.schedule(1.0, lambda: seen.append(tracer.current_span))
+        sim.run(until=2.0)
+        assert seen == [root]
+
+    def test_child_opened_in_callback_parents_correctly(self, sim, tracer):
+        kids = []
+        root = tracer.span("query.run")
+        with tracer.use(root):
+            sim.schedule(1.0, lambda: kids.append(tracer.span("grid.job")))
+        sim.run(until=2.0)
+        assert kids[0].record.parent_id == root.span_id
+        assert kids[0].trace_id == root.trace_id
+
+    def test_no_ambient_leak_into_unrelated_callback(self, sim, tracer):
+        """A callback scheduled outside any span must not inherit whatever
+        span the driver loop holds while stepping the simulator."""
+        seen = []
+        session = tracer.span("session.root")
+        sim.schedule(1.0, lambda: seen.append(tracer.current_span))
+        with tracer.use(session):
+            sim.run(until=2.0)  # driver holds the session span while stepping
+        assert seen == [None]
+
+    def test_capture_skips_ended_span(self, sim, tracer):
+        seen = []
+        span = tracer.span("query.run")
+        with tracer.use(span):
+            span.end()
+            sim.schedule(1.0, lambda: seen.append(tracer.current_span))
+        sim.run(until=2.0)
+        assert seen == [None]
+
+    def test_use_reenters_without_ending(self, tracer):
+        span = tracer.span("query.run")
+        with tracer.use(span):
+            assert tracer.current_span is span
+            with tracer.span("net.send") as child:
+                pass
+        assert tracer.current_span is None
+        assert not span.ended
+        assert child.record.parent_id == span.span_id
+
+    def test_event_attaches_to_current_span(self, tracer):
+        with tracer.span("query.run") as root:
+            tracer.event("query.decision", model="grid")
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0].parent_id == root.span_id
+        assert events[0].trace_id == root.trace_id
+        assert events[0].attrs == {"model": "grid"}
+
+    def test_free_event_is_rootless(self, tracer):
+        tracer.event("faults.inject", kind="crash")
+        (event,) = tracer.events()
+        assert event.parent_id is None
+
+    def test_span_event_targets_that_span(self, tracer):
+        root = tracer.span("query.run")
+        with tracer.span("net.send"):
+            root.event("composition.timeout", attempt=1)
+        (event,) = tracer.events()
+        assert event.parent_id == root.span_id
+
+
+class TestDisabledTracer:
+    def test_disabled_returns_shared_singletons(self, sim):
+        tracer = Tracer(sim, enabled=False)
+        assert tracer.span("net.send") is NOOP_SPAN
+        assert tracer.span_under(None, "x.y") is NOOP_SPAN
+        tracer.event("net.hop", relay=3)
+        assert len(tracer) == 0
+
+    def test_noop_span_full_api(self):
+        span = NOOP_TRACER.span("net.send")
+        assert span.set(a=1) is span
+        span.event("x.y")
+        span.end()
+        span.end_at(5.0)
+        with span as entered:
+            assert entered is span
+        with NOOP_TRACER.use(span):
+            pass
+        assert NOOP_TRACER.current_span is None
+        assert len(NOOP_TRACER) == 0
+
+    def test_enabled_tracer_requires_sim(self):
+        with pytest.raises(ValueError):
+            Tracer(sim=None)
+
+
+class TestHousekeeping:
+    def test_records_are_append_only_in_start_order(self, tracer):
+        with tracer.span("a.one"):
+            tracer.event("a.tick")
+            with tracer.span("b.two"):
+                pass
+        names = [r.name for r in tracer.records]
+        assert names == ["a.one", "a.tick", "b.two"]
+
+    def test_spans_and_events_views(self, tracer):
+        with tracer.span("a.one"):
+            tracer.event("a.tick")
+        assert [s.name for s in tracer.spans()] == ["a.one"]
+        assert [e.name for e in tracer.events()] == ["a.tick"]
+
+    def test_clear_resets_log_and_stack(self, tracer):
+        span = tracer.span("a.one")
+        with tracer.use(span):
+            tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.current_span is None
+
+    def test_set_merges_attrs(self, tracer):
+        span = tracer.span("a.one", x=1)
+        span.set(y=2).set(x=3)
+        assert span.record.attrs == {"x": 3, "y": 2}
+
+    def test_isinstance_guard_in_use(self, tracer):
+        # a noop span from another (disabled) tracer must not be pushed
+        with tracer.use(NOOP_SPAN) as span:
+            assert span is NOOP_SPAN
+        assert tracer.current_span is None
