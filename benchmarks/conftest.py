@@ -6,12 +6,24 @@ wraps the headline measurement of each experiment; the full sweep runs
 once (``pedantic`` mode) because experiments are deterministic
 simulations, not microbenchmarks.
 
+Headline metrics also persist: the session-scoped ``record`` fixture
+feeds a :class:`repro.observability.bench.BenchRecorder`, and the
+results land in ``BENCH_results.json`` (override the path with the
+``BENCH_RESULTS`` environment variable) when the session ends.  Gate a
+run against a baseline with::
+
+    python -m repro.observability.bench compare benchmarks/BENCH_baseline.json BENCH_results.json
+
 Run:  pytest benchmarks/ --benchmark-only -s
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.observability.bench import BenchRecorder
 
 
 def print_table(title: str, headers: list[str], rows: list[list], fmt: str = "{:>14}") -> None:
@@ -43,3 +55,21 @@ def run_once(benchmark, fn):
 @pytest.fixture
 def once():
     return run_once
+
+
+@pytest.fixture(scope="session")
+def _bench_recorder():
+    recorder = BenchRecorder()
+    yield recorder
+    if len(recorder):
+        path = os.environ.get("BENCH_RESULTS", "BENCH_results.json")
+        recorder.save(path)
+        print(f"\n[bench] wrote {len(recorder)} headline metrics to {path}")
+
+
+@pytest.fixture
+def record(_bench_recorder):
+    """Persist one headline metric: ``record("E2", "tree_mj", 0.73,
+    unit="mJ", direction="lower", seed=11)`` — keyword args become the
+    parameter hash that matches results across runs."""
+    return _bench_recorder.record

@@ -87,6 +87,7 @@ class FaultWorld:
         self.manager = CompositionManager(
             "mgr", self.sim, Binder(self.registry), mode="centralized",
             timeout_s=30.0, max_retries=retries, breakers=self.breakers,
+            monitor=self.monitor,
         )
         self.platform.register(self.manager)
         self.platform.register(BrokerAgent("broker", self.registry))
@@ -204,7 +205,7 @@ def run_sweep():
     }
 
 
-def test_e13_fault_tolerance(benchmark, table, once):
+def test_e13_fault_tolerance(benchmark, table, once, record):
     rows = once(benchmark, run_sweep)
     out = []
     for schedule in SCHEDULES:
@@ -234,3 +235,77 @@ def test_e13_fault_tolerance(benchmark, table, once):
     # determinism: replaying one cell reproduces the row exactly
     again = run_cell("crash-storm", "full")
     assert again == rows[("crash-storm", "full")]
+
+    # persist the headline metrics into the bench trajectory
+    for schedule in SCHEDULES:
+        for level in LEVELS:
+            record("E13", f"completion[{schedule}/{level}]",
+                   rows[(schedule, level)]["completion"], direction="higher",
+                   seed=SEED, compositions=N_COMPOSITIONS)
+        record("E13", f"p95_s[{schedule}/full]",
+               rows[(schedule, "full")]["p95_s"], unit="s", direction="lower",
+               seed=SEED, compositions=N_COMPOSITIONS)
+
+
+def _watched_world(schedule: str, level: str):
+    """A FaultWorld with the SLO engine attached to its sim kernel."""
+    from repro.observability.slo import SLO, Signal, SLOEvaluator, breaker_slo
+
+    world = FaultWorld(schedule, level)
+    slos = [
+        SLO("composition.failures",
+            "no composite execution fails inside the window",
+            Signal("delta", "composition.failed"),
+            objective=0.0, comparison="<=", window_s=120.0, severity="page"),
+        breaker_slo(threshold=0.34, window_s=60.0),
+    ]
+    evaluator = SLOEvaluator(world.sim, world.monitor, slos, interval_s=15.0)
+    n_hosts = len(world.providers)
+    boards = world.breakers
+    evaluator.probe(
+        "resilience.breaker_open_fraction",
+        lambda: len(boards.blocked_providers()) / n_hosts if boards else 0.0)
+    evaluator.start(HORIZON_S)
+    return world, evaluator
+
+
+def run_slo_sweep():
+    cells = {}
+    for level in ("none", "full"):
+        world, evaluator = _watched_world("crash-storm", level)
+        world.run()
+        evaluator.tick()
+        st = evaluator.status["composition.failures"]
+        cells[level] = {
+            "verdict": evaluator.health().verdict,
+            "fired": st.fired,
+            "resolved": st.resolved,
+            "compliance": st.compliance,
+            "timeline": [(ev.time_s, ev.slo, ev.phase) for ev in evaluator.timeline],
+        }
+    return cells
+
+
+def test_e13_slo_verdict(benchmark, table, once):
+    """The SLO engine watching E13: failures alert without resilience,
+    and the full stack's compliance dominates, deterministically."""
+    cells = once(benchmark, run_slo_sweep)
+    table(
+        "E13 (SLO view): composition.failures alerting under crash-storm",
+        ["resilience", "verdict", "fired", "resolved", "compliance"],
+        [[level, c["verdict"], c["fired"], c["resolved"],
+          f"{c['compliance']:.3f}"] for level, c in cells.items()],
+        fmt="{:>12}",
+    )
+    # without resilience, failures breach the objective at least once
+    assert cells["none"]["fired"] >= 1
+    assert cells["none"]["timeline"]  # the timeline is non-trivial
+    # the full stack never does worse than no resilience at all
+    assert cells["full"]["compliance"] >= cells["none"]["compliance"]
+
+    # the alert timeline is a pure function of the seed
+    world, evaluator = _watched_world("crash-storm", "none")
+    world.run()
+    evaluator.tick()
+    replay = [(ev.time_s, ev.slo, ev.phase) for ev in evaluator.timeline]
+    assert replay == cells["none"]["timeline"]

@@ -46,7 +46,7 @@ def run_sweep():
     }
 
 
-def test_e2_energy_per_model(benchmark, table, once):
+def test_e2_energy_per_model(benchmark, table, once, record):
     results = once(benchmark, run_sweep)
     model_names = [cls.name for cls in ALL_MODELS]
     rows = []
@@ -87,3 +87,14 @@ def test_e2_energy_per_model(benchmark, table, once):
     # dissemination dominates the first epoch: first >> steady for tree
     first_tree = results[("aggregate", "tree")][0]
     assert first_tree > 2 * steady[("aggregate", "tree")]
+
+    # persist the headline numbers into the bench trajectory
+    for qclass, model in (("aggregate", "tree"), ("aggregate", "cluster"),
+                          ("aggregate", "centralized"),
+                          ("complex", "region"), ("complex", "centralized")):
+        record("E2", f"steady_mj[{qclass}/{model}]",
+               steady[(qclass, model)] * 1e3, unit="mJ", direction="lower",
+               seed=11, n_sensors=49)
+    record("E2", "tree_vs_centralized_ratio[aggregate]",
+           steady[("aggregate", "tree")] / steady[("aggregate", "centralized")],
+           direction="lower", seed=11, n_sensors=49)

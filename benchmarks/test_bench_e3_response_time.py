@@ -41,7 +41,7 @@ def run_sweep():
     }
 
 
-def test_e3_response_time_per_model(benchmark, table, once):
+def test_e3_response_time_per_model(benchmark, table, once, record):
     results = once(benchmark, run_sweep)
     model_names = [cls.name for cls in ALL_MODELS]
     rows = []
@@ -67,3 +67,9 @@ def test_e3_response_time_per_model(benchmark, table, once):
     # every class has at least one sub-minute plan (feasibility)
     for qclass in QUERIES:
         assert min(t[(qclass, m)] for m in model_names) < 60.0
+
+    # persist the headline numbers into the bench trajectory
+    for qclass, model in (("simple", "handheld"), ("aggregate", "tree"),
+                          ("complex", "grid"), ("complex", "handheld")):
+        record("E3", f"time_s[{qclass}/{model}]", t[(qclass, model)],
+               unit="s", direction="lower", seed=13, n_sensors=49)

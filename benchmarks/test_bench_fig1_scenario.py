@@ -4,7 +4,9 @@ Reproduces the paper's only figure as a running system: handheld →
 base station → sensor network, with the grid behind the uplink.  All
 four query classes are answered in one session against a burning
 building; the table reports what the Decision Maker chose and what each
-answer cost.
+answer cost.  The whole session runs under the SLO engine, so the
+flagship scenario closes with a grid health verdict (it must be
+HEALTHY: no objective breached, no alert fired).
 """
 
 from repro.workloads import fire_scenario
@@ -19,6 +21,7 @@ QUERIES = [
 
 def run_scenario():
     runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7)
+    evaluator = runtime.attach_slos(until_s=600.0)
     runtime.sim.run(until=120.0)  # fire develops
     rows = []
     for label, text in QUERIES:
@@ -32,11 +35,12 @@ def run_scenario():
                 o.energy_j * 1e3,
                 o.rel_error,
             ])
-    return runtime, rows
+    evaluator.tick()  # close the books before the verdict
+    return runtime, evaluator, rows
 
 
-def test_fig1_general_scenario(benchmark, table, once):
-    runtime, rows = once(benchmark, run_scenario)
+def test_fig1_general_scenario(benchmark, table, once, record):
+    runtime, evaluator, rows = once(benchmark, run_scenario)
     table(
         "E1 / Fig.1: General Scenario -- all four query classes, one session",
         ["query class", "model", "ok", "time (s)", "energy (mJ)", "rel. err"],
@@ -50,3 +54,17 @@ def test_fig1_general_scenario(benchmark, table, once):
     assert complex_row[5] < 0.05
     # no sensor died answering four queries
     assert runtime.deployment.dead_sensor_count() == 0
+
+    # the SLO engine watched the whole session and found nothing to page
+    health = evaluator.health()
+    assert health.verdict == "healthy", (health, evaluator.timeline)
+    assert not evaluator.timeline
+    assert evaluator.monitor.counters().get("slo.evaluations", 0.0) > 0
+
+    # persist the headline metrics into the bench trajectory
+    first = {r[0]: r for r in rows}
+    for label in ("simple", "aggregate", "complex", "continuous"):
+        record("E1", f"time_s[{label}]", first[label][3], unit="s",
+               direction="lower", seed=7, n_sensors=49)
+        record("E1", f"energy_mj[{label}]", first[label][4], unit="mJ",
+               direction="lower", seed=7, n_sensors=49)

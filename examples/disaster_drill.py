@@ -15,9 +15,16 @@ degrading instead of crashing:
    query layer reports "no feasible model" -- an answer, not a
    traceback.
 
+The run is watched by the SLO engine: the default grid objectives
+(query latency/failure ratio, energy per epoch, uplink availability)
+are evaluated every 15 s of simulated time, the uplink alert fires
+during the backhaul outage and resolves after recovery, and the drill
+closes with the grid health verdict and the alert timeline.
+
 Run:  python examples/disaster_drill.py
       python examples/disaster_drill.py --trace
       python examples/disaster_drill.py --export drill-trace.jsonl
+      python -m repro.observability.dashboard drill-trace.jsonl
 """
 
 import argparse
@@ -25,6 +32,7 @@ import argparse
 from repro.faults import NodeCrash, UplinkOutage
 from repro.observability.analysis import Trace
 from repro.observability.report import pick_root, render_critical_path, render_rollup
+from repro.observability.slo import render_health
 from repro.workloads import fire_scenario
 
 DISTRIBUTION_Q = "SELECT DISTRIBUTION(value) FROM sensors COST accuracy 0.05"
@@ -58,6 +66,9 @@ def main(argv=None) -> None:
     # the drill's fault script, scheduled up front like a real exercise
     injector.schedule(UplinkOutage(at_s=120.0, duration_s=240.0))
     injector.schedule(NodeCrash(base, at_s=600.0))
+
+    # the SLO engine watches the whole drill in simulated time
+    evaluator = runtime.attach_slos(until_s=900.0)
 
     print("=== t=0: healthy infrastructure ===")
     show("spot check (sensor 24)",
@@ -96,6 +107,11 @@ def main(argv=None) -> None:
         print("failure reasons counted in the monitor:")
         for name, count in sorted(failed.items()):
             print(f"  {name}: {count:.0f}")
+
+    # close the books: one final evaluation at the drill's end, then the verdict
+    evaluator.tick()
+    print("\n=== SLO health verdict ===")
+    print(render_health(evaluator))
 
     if tracing:
         print("\n=== where did the time go (slowest query) ===")

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.observability.analysis import Trace
 from repro.observability.report import pick_root, render_critical_path, render_rollup
+from repro.observability.slo import render_health
 from repro.reporting import ascii_heatmap
 from repro.workloads import fire_scenario
 
@@ -24,6 +25,7 @@ from repro.workloads import fire_scenario
 def main() -> None:
     runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2,
                             trace=True)
+    evaluator = runtime.attach_slos(until_s=600.0)
 
     print("=== t=0: fire just ignited ===")
     out = runtime.query("SELECT MAX(value) FROM sensors")
@@ -81,6 +83,10 @@ def main() -> None:
         print(render_critical_path(trace, root))
         print()
         print(render_rollup(trace, root))
+
+    evaluator.tick()
+    print("\n=== SLO health verdict ===")
+    print(render_health(evaluator))
 
 
 if __name__ == "__main__":

@@ -4,11 +4,15 @@
 Builds the Figure-1 world (sensor lattice + base station + handheld +
 wired grid), then runs one query of each of the paper's four classes and
 shows which execution model the Decision Maker picked and what it cost.
+The run closes with the canonical metric rollup -- every number the
+grid recorded, keyed by the conventions in
+:mod:`repro.observability.metrics`.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.core import PervasiveGridRuntime
+from repro.observability.metrics import rollup_by_subsystem
 
 def main() -> None:
     # 49 temperature sensors on a lattice in a 60 m building, ambient field
@@ -38,6 +42,13 @@ def main() -> None:
 
     print(f"\ntotal sensor energy consumed: {runtime.energy_consumed_j() * 1e3:.3f} mJ")
     print(f"virtual time elapsed:         {runtime.sim.now:.1f} s")
+
+    print("\ncanonical metric rollup (repro.observability.metrics):")
+    for subsystem, values in rollup_by_subsystem(runtime.monitor).items():
+        print(f"  [{subsystem}]")
+        for name, value in values.items():
+            shown = f"{value:.6g}" if isinstance(value, float) else value
+            print(f"    {name:<34} {shown}")
 
 
 if __name__ == "__main__":

@@ -138,6 +138,39 @@ class PervasiveGridRuntime:
         return FaultInjector(domain, tracer=self.tracer)
 
     # ------------------------------------------------------------------
+    def attach_slos(
+        self,
+        slos: "typing.Sequence | None" = None,
+        *,
+        interval_s: float = 15.0,
+        until_s: float = 3600.0,
+        record_samples: bool = True,
+    ) -> "SLOEvaluator":
+        """Attach an :class:`~repro.observability.slo.SLOEvaluator`.
+
+        Builds an evaluator over this runtime's simulator and monitor
+        (default objectives:
+        :func:`~repro.observability.slo.default_slos`), registers the
+        ``grid.uplink_online`` probe the uplink-availability SLO reads,
+        and starts evaluation ticks every ``interval_s`` of simulated
+        time up to ``until_s``.  Alert fire/resolve land on this
+        runtime's tracer when it is enabled; call
+        :func:`~repro.observability.slo.render_health` on the returned
+        evaluator for the end-of-run verdict.
+        """
+        from repro.observability.slo import SLOEvaluator, default_slos
+
+        evaluator = SLOEvaluator(
+            self.sim, self.monitor, list(slos) if slos is not None else default_slos(),
+            interval_s=interval_s, tracer=self.tracer,
+            record_samples=record_samples,
+        )
+        uplink = self.grid.uplink
+        evaluator.probe("grid.uplink_online",
+                        lambda: 1.0 if uplink.online else 0.0)
+        return evaluator.start(until_s)
+
+    # ------------------------------------------------------------------
     @property
     def monitor(self):
         """The run's shared :class:`~repro.simkernel.monitor.Monitor`."""

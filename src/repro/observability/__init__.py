@@ -13,7 +13,20 @@ Three layers, all over *simulated* time:
 * :mod:`~repro.observability.analysis` / ``export`` / ``report`` --
   JSONL export, critical-path extraction that attributes 100% of a
   span's end-to-end latency, per-subsystem rollups, and the
-  ``python -m repro.observability.report <trace.jsonl>`` CLI.
+  ``python -m repro.observability.report <trace.jsonl>`` CLI
+  (``--format json`` for machine consumers).
+* :mod:`~repro.observability.slo` -- the verdict layer: declarative
+  SLOs over the canonical metrics, evaluated over sliding
+  simulated-time windows by an :class:`SLOEvaluator` driven from the
+  sim kernel, with alert fire/resolve on the trace and per-subsystem
+  health scoring (``render_health``).
+* :mod:`~repro.observability.bench` -- the benchmark trajectory:
+  :class:`BenchRecorder` persists every experiment's headline metrics
+  to ``BENCH_results.json``; ``python -m repro.observability.bench
+  compare OLD NEW`` is the regression gate.
+* :mod:`~repro.observability.dashboard` -- ``python -m
+  repro.observability.dashboard <trace.jsonl>`` renders activity
+  sparklines, SLO status, and the alert timeline from one export.
 
 Wiring: every subsystem accepts a tracer (defaulting to the no-op) and
 :class:`~repro.core.runtime.PervasiveGridRuntime` owns one for the whole
@@ -47,6 +60,30 @@ from repro.observability.metrics import (
     canonical_summary,
     rollup_by_subsystem,
 )
+from repro.observability.slo import (
+    SLO,
+    AlertEvent,
+    GridHealth,
+    Signal,
+    SLOEvaluator,
+    SLOStatus,
+    SubsystemHealth,
+    breaker_slo,
+    default_slos,
+    render_health,
+)
+# bench is re-exported lazily (PEP 562): importing it here would make
+# ``python -m repro.observability.bench`` execute the module twice and
+# warn, since this package is imported before runpy runs the CLI.
+_BENCH_EXPORTS = ("BenchRecorder", "BenchResult", "CompareReport",
+                  "compare", "load_results")
+
+
+def __getattr__(name):
+    if name in _BENCH_EXPORTS:
+        from repro.observability import bench
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Tracer",
@@ -72,4 +109,19 @@ __all__ = [
     "canonical_name",
     "canonical_summary",
     "rollup_by_subsystem",
+    "SLO",
+    "Signal",
+    "SLOEvaluator",
+    "SLOStatus",
+    "AlertEvent",
+    "GridHealth",
+    "SubsystemHealth",
+    "default_slos",
+    "breaker_slo",
+    "render_health",
+    "BenchRecorder",
+    "BenchResult",
+    "CompareReport",
+    "compare",
+    "load_results",
 ]

@@ -105,6 +105,11 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("resilience.breaker_trips", "counter", "1", "circuit-breaker opens"),
     MetricSpec("resilience.retries", "counter", "1", "retry attempts (all layers)"),
     MetricSpec("resilience.hedges", "counter", "1", "hedged duplicates fired"),
+    # slo (the verdict layer watching all of the above)
+    MetricSpec("slo.evaluations", "counter", "1", "SLO evaluation ticks executed"),
+    MetricSpec("slo.alerts_fired", "counter", "1", "SLO alerts transitioned to firing"),
+    MetricSpec("slo.alerts_resolved", "counter", "1", "SLO alerts resolved"),
+    MetricSpec("slo.breached", "series", "1", "concurrently-firing SLOs over time"),
 ])
 
 #: Legacy monitor keys -> canonical names.

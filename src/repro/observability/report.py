@@ -5,11 +5,16 @@ the longest root): the critical path of its end-to-end latency, the
 per-subsystem rollup, and the trace's event counts.  The same renderers
 are reused by the examples to close each run with a "where did the time
 go" table instead of a raw counter dump.
+
+``--format json`` emits the same analysis as one JSON document
+(:func:`report_dict`), for the dashboard, CI gates, and any other
+machine consumer of rollups and critical paths.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing
 
@@ -83,6 +88,50 @@ def render_events(trace: Trace) -> str:
     return "\n".join(["events:", format_table(["event", "count"], rows, width=34)])
 
 
+def report_dict(trace: Trace, root_prefix: str | None = None) -> dict:
+    """The full report as a JSON-serializable document (``--format json``).
+
+    Mirrors :func:`render_report`: trace stats, the selected root's
+    critical path and per-subsystem rollup (``None`` when no closed root
+    matches), and the event counts.
+    """
+    root = pick_root(trace, root_prefix)
+    doc: dict[str, typing.Any] = {
+        "trace": {
+            "spans": len(trace.spans),
+            "events": len(trace.events),
+            "trace_ids": len({s.trace_id for s in trace.spans}),
+            "roots": len(trace.roots()),
+        },
+        "root": None,
+        "critical_path": None,
+        "rollup": None,
+        "events": dict(event_counts(trace)),
+    }
+    if root is not None:
+        total = max(root.duration_s, 1e-300)
+        doc["root"] = {
+            "name": root.name,
+            "trace_id": root.trace_id,
+            "span_id": root.span_id,
+            "start_s": root.start_s,
+            "duration_s": root.duration_s,
+        }
+        doc["critical_path"] = [
+            {
+                "name": seg.span.name,
+                "subsystem": seg.span.subsystem,
+                "depth": seg.depth,
+                "start_s": seg.start_s,
+                "duration_s": seg.duration_s,
+                "share": seg.duration_s / total,
+            }
+            for seg in critical_path(trace, root)
+        ]
+        doc["rollup"] = [dict(r) for r in subsystem_rollup(trace, root)]
+    return doc
+
+
 def render_report(trace: Trace, root_prefix: str | None = None) -> str:
     """The full report body (used by the CLI and the examples)."""
     n_traces = len({s.trace_id for s in trace.spans})
@@ -114,13 +163,22 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     parser.add_argument("--root", default=None, metavar="PREFIX",
                         help="analyze the longest root span whose name starts "
                              "with PREFIX (default: the longest root)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (json: the report_dict document)")
     args = parser.parse_args(argv)
     try:
         records = read_jsonl(args.trace)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_report(Trace(records), args.root))
+    if not records:
+        print(f"error: {args.trace}: empty trace (no records)", file=sys.stderr)
+        return 2
+    trace = Trace(records)
+    if args.format == "json":
+        print(json.dumps(report_dict(trace, args.root), indent=2, sort_keys=True))
+    else:
+        print(render_report(trace, args.root))
     return 0
 
 
