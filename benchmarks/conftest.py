@@ -26,6 +26,20 @@ import pytest
 from repro.observability.bench import BenchRecorder
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers", type=int, default=1,
+        help="worker processes for trial-sharded experiments (1 = serial; "
+             "merged metrics are bit-identical at any worker count)",
+    )
+
+
+@pytest.fixture
+def workers(request):
+    """Worker-process count for experiments built on repro.parallel."""
+    return request.config.getoption("--workers")
+
+
 def print_table(title: str, headers: list[str], rows: list[list], fmt: str = "{:>14}") -> None:
     """Print one experiment table (captured by pytest -s)."""
     print(f"\n=== {title} ===")

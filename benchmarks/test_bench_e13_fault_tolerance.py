@@ -19,6 +19,10 @@ Expected shape: resilience-on strictly dominates resilience-off on
 completion rate for every schedule, breakers earn their keep under
 flapping (they steer rebinds away from recently-bad hosts), and the
 whole table is a pure function of the seed.
+
+The nine (schedule x level) cells are independent worlds, sharded
+through :class:`repro.parallel.TrialRunner` (``--workers N``); the
+merged table and monitor are bit-identical at any worker count.
 """
 
 import numpy as np
@@ -48,6 +52,7 @@ from repro.faults import (
     flapping_schedule,
 )
 from repro.network import Topology
+from repro.parallel import TrialResult, cell_specs, run_trials
 from repro.resilience import BreakerBoard, Hedge, RetryPolicy
 from repro.simkernel import Monitor, RandomStreams, Simulator
 
@@ -184,29 +189,45 @@ class FaultWorld:
         return results
 
 
-def run_cell(schedule: str, level: str, seed: int = SEED):
-    world = FaultWorld(schedule, level, seed=seed)
+def run_trial(spec):
+    """One (schedule, level) world; runs in a worker process."""
+    world = FaultWorld(spec.params["schedule"], spec.params["level"], seed=spec.seed)
     results = world.run()
     ok = [latency for r, latency in results if r.success]
-    return {
+    metrics = {
         "completion": len(ok) / len(results) if results else 0.0,
         "p50_s": float(np.percentile(ok, 50)) if ok else float("nan"),
         "p95_s": float(np.percentile(ok, 95)) if ok else float("nan"),
         "rebinds": float(np.mean([r.rebinds for r, _ in results])),
         "faults": world.monitor.counters().get("faults.injected", 0.0),
     }
+    return TrialResult(monitor=world.monitor, metrics=metrics,
+                       sim_time_s=world.sim.now)
 
 
-def run_sweep():
-    return {
-        (schedule, level): run_cell(schedule, level)
-        for schedule in SCHEDULES
-        for level in LEVELS
+def run_cell(schedule: str, level: str, seed: int = SEED):
+    from repro.parallel import TrialSpec
+
+    return run_trial(TrialSpec(index=0, seed=seed,
+                               params={"schedule": schedule, "level": level})).metrics
+
+
+def run_sweep(workers: int = 1):
+    specs = cell_specs(
+        [{"schedule": schedule, "level": level}
+         for schedule in SCHEDULES for level in LEVELS],
+        seed=SEED,
+    )
+    sweep = run_trials(run_trial, specs, workers=workers)
+    rows = {
+        (o.spec.params["schedule"], o.spec.params["level"]): o.metrics
+        for o in sweep.outcomes
     }
+    return rows, sweep
 
 
-def test_e13_fault_tolerance(benchmark, table, once, record):
-    rows = once(benchmark, run_sweep)
+def test_e13_fault_tolerance(benchmark, table, once, record, workers):
+    rows, sweep = once(benchmark, lambda: run_sweep(workers))
     out = []
     for schedule in SCHEDULES:
         for level in LEVELS:
@@ -245,6 +266,9 @@ def test_e13_fault_tolerance(benchmark, table, once, record):
         record("E13", f"p95_s[{schedule}/full]",
                rows[(schedule, "full")]["p95_s"], unit="s", direction="lower",
                seed=SEED, compositions=N_COMPOSITIONS)
+    if sweep.workers > 1:
+        record("E13", "parallel_speedup", sweep.speedup, unit="x",
+               direction="higher", workers=sweep.workers)
 
 
 def _watched_world(schedule: str, level: str):

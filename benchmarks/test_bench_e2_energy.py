@@ -10,11 +10,18 @@ after the first), which is where the plans differ -- dissemination is a
 shared one-off cost.  Expected shape: for aggregates,
 tree < cluster/region < centralized = grid = handheld (raw shipping);
 for complex queries only region-averaging saves energy.
+
+The 15 (query class x model) cells are independent simulation worlds, so
+the sweep shards them through :class:`repro.parallel.TrialRunner`
+(``pytest benchmarks/ --workers N``); the merged monitor -- including the
+route-cache counters -- is bit-identical at any worker count.
 """
 
 import math
 
 from repro.core import PervasiveGridRuntime, StaticPolicy
+from repro.network import record_route_cache_metrics
+from repro.parallel import TrialResult, cell_specs, run_trials
 from repro.queries.models import ALL_MODELS
 
 QUERIES = {
@@ -24,30 +31,43 @@ QUERIES = {
 }
 
 
-def measure(model_name: str, query_text: str):
+def run_cell(spec):
+    """One (query class, model) world; runs in a worker process."""
+    model_name = spec.params["model"]
     runtime = PervasiveGridRuntime(
-        n_sensors=49, area_m=60.0, seed=11, policy=StaticPolicy(model_name),
+        n_sensors=49, area_m=60.0, seed=spec.seed, policy=StaticPolicy(model_name),
         grid_resolution=30,
     )
-    outcomes = runtime.query(query_text)
+    outcomes = runtime.query(QUERIES[spec.params["qclass"]])
+    record_route_cache_metrics(runtime.deployment.topology, runtime.monitor)
     good = [o for o in outcomes if o.success and o.model == model_name]
     if len(good) < 2:
-        return None, None
-    first = good[0].energy_j
-    steady = sum(o.energy_j for o in good[1:]) / len(good[1:])
-    return first, steady
+        first = steady = None
+    else:
+        first = good[0].energy_j
+        steady = sum(o.energy_j for o in good[1:]) / len(good[1:])
+    return TrialResult(monitor=runtime.monitor,
+                       metrics={"first": first, "steady": steady},
+                       sim_time_s=runtime.sim.now)
 
 
-def run_sweep():
-    return {
-        (qclass, cls.name): measure(cls.name, text)
-        for qclass, text in QUERIES.items()
-        for cls in ALL_MODELS
+def run_sweep(workers: int = 1):
+    specs = cell_specs(
+        [{"qclass": qclass, "model": cls.name}
+         for qclass in QUERIES for cls in ALL_MODELS],
+        seed=11,
+    )
+    sweep = run_trials(run_cell, specs, workers=workers)
+    results = {
+        (o.spec.params["qclass"], o.spec.params["model"]):
+            (o.metrics["first"], o.metrics["steady"])
+        for o in sweep.outcomes
     }
+    return results, sweep
 
 
-def test_e2_energy_per_model(benchmark, table, once, record):
-    results = once(benchmark, run_sweep)
+def test_e2_energy_per_model(benchmark, table, once, record, workers):
+    results, sweep = once(benchmark, lambda: run_sweep(workers))
     model_names = [cls.name for cls in ALL_MODELS]
     rows = []
     for qclass in QUERIES:
@@ -98,3 +118,16 @@ def test_e2_energy_per_model(benchmark, table, once, record):
     record("E2", "tree_vs_centralized_ratio[aggregate]",
            steady[("aggregate", "tree")] / steady[("aggregate", "centralized")],
            direction="lower", seed=11, n_sensors=49)
+
+    # the static-topology workload must actually exercise the route cache,
+    # and the hit rate is deterministic (identical at any worker count)
+    hits = sweep.monitor.counter("net.route_cache.hits").value
+    misses = sweep.monitor.counter("net.route_cache.misses").value
+    assert hits > 0, "static-topology E2 should serve route queries from cache"
+    record("E2", "route_cache_hit_rate", hits / (hits + misses),
+           direction="higher", seed=11, n_sensors=49)
+    if sweep.workers > 1:
+        # wall-clock facts are keyed by worker count so serial baselines
+        # never compare against them (determinism gates stay clean)
+        record("E2", "parallel_speedup", sweep.speedup, unit="x",
+               direction="higher", workers=sweep.workers)

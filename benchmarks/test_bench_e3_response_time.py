@@ -13,6 +13,8 @@ exists).
 import math
 
 from repro.core import PervasiveGridRuntime, StaticPolicy
+from repro.network import record_route_cache_metrics
+from repro.parallel import TrialResult, cell_specs, run_trials
 from repro.queries.models import ALL_MODELS
 
 QUERIES = {
@@ -22,34 +24,43 @@ QUERIES = {
 }
 
 
-def measure(model_name: str, query_text: str):
+def run_cell(spec):
+    """One (query class, model) world; runs in a worker process."""
+    model_name = spec.params["model"]
     runtime = PervasiveGridRuntime(
-        n_sensors=49, area_m=60.0, seed=13, policy=StaticPolicy(model_name),
+        n_sensors=49, area_m=60.0, seed=spec.seed, policy=StaticPolicy(model_name),
         grid_resolution=50,  # a serious PDE: 2500 grid points
     )
-    out = runtime.query(query_text, horizon_s=1e9)[0]
-    if not out.success or out.model != model_name:
-        return None
-    return out
+    out = runtime.query(QUERIES[spec.params["qclass"]], horizon_s=1e9)[0]
+    record_route_cache_metrics(runtime.deployment.topology, runtime.monitor)
+    time_s = out.time_s if out.success and out.model == model_name else None
+    return TrialResult(monitor=runtime.monitor, metrics={"time_s": time_s},
+                       sim_time_s=runtime.sim.now)
 
 
-def run_sweep():
-    return {
-        (qclass, cls.name): measure(cls.name, text)
-        for qclass, text in QUERIES.items()
-        for cls in ALL_MODELS
+def run_sweep(workers: int = 1):
+    specs = cell_specs(
+        [{"qclass": qclass, "model": cls.name}
+         for qclass in QUERIES for cls in ALL_MODELS],
+        seed=13,
+    )
+    sweep = run_trials(run_cell, specs, workers=workers)
+    results = {
+        (o.spec.params["qclass"], o.spec.params["model"]): o.metrics["time_s"]
+        for o in sweep.outcomes
     }
+    return results, sweep
 
 
-def test_e3_response_time_per_model(benchmark, table, once, record):
-    results = once(benchmark, run_sweep)
+def test_e3_response_time_per_model(benchmark, table, once, record, workers):
+    results, sweep = once(benchmark, lambda: run_sweep(workers))
     model_names = [cls.name for cls in ALL_MODELS]
     rows = []
     for qclass in QUERIES:
         row = [qclass]
         for name in model_names:
-            out = results[(qclass, name)]
-            row.append(out.time_s if out else math.nan)
+            time_s = results[(qclass, name)]
+            row.append(time_s if time_s is not None else math.nan)
         rows.append(row)
     table(
         "E3: measured query turnaround (s), by execution model",
@@ -57,7 +68,7 @@ def test_e3_response_time_per_model(benchmark, table, once, record):
         rows,
     )
 
-    t = {k: (v.time_s if v else math.inf) for k, v in results.items()}
+    t = {k: (v if v is not None else math.inf) for k, v in results.items()}
     # complex queries: grid wins, handheld is hopeless
     assert t[("complex", "grid")] < t[("complex", "centralized")]
     assert t[("complex", "grid")] < t[("complex", "handheld")]
@@ -73,3 +84,6 @@ def test_e3_response_time_per_model(benchmark, table, once, record):
                           ("complex", "grid"), ("complex", "handheld")):
         record("E3", f"time_s[{qclass}/{model}]", t[(qclass, model)],
                unit="s", direction="lower", seed=13, n_sensors=49)
+    if sweep.workers > 1:
+        record("E3", "parallel_speedup", sweep.speedup, unit="x",
+               direction="higher", workers=sweep.workers)

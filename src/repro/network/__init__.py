@@ -28,7 +28,7 @@ from repro.network.radio import RadioModel
 from repro.network.message import Message, DeliveryReceipt
 from repro.network.topology import Topology
 from repro.network.mobility import StaticPlacement, RandomWaypoint, grid_positions, random_positions
-from repro.network.network import WirelessNetwork, NetworkNode
+from repro.network.network import WirelessNetwork, NetworkNode, record_route_cache_metrics
 
 __all__ = [
     "pairwise_distances",
@@ -45,4 +45,5 @@ __all__ = [
     "random_positions",
     "WirelessNetwork",
     "NetworkNode",
+    "record_route_cache_metrics",
 ]

@@ -61,7 +61,8 @@ class DeliveryReceipt:
     energy_j:
         Total radio energy charged across all nodes for this message.
     reason:
-        For drops: ``"loss"``, ``"no-route"``, ``"dead-node"``.
+        For drops: ``"loss"``, ``"no-route"``, ``"dead-node"``,
+        ``"dead-source"``.
     """
 
     delivered: bool

@@ -12,6 +12,8 @@ topology changes").
 
 from __future__ import annotations
 
+import copy
+import dataclasses
 import typing
 
 import numpy as np
@@ -22,6 +24,35 @@ from repro.network.message import DeliveryReceipt, Message
 from repro.network.radio import RadioModel
 from repro.network.topology import Topology
 from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, STATUS_ERROR, Tracer
+
+
+def record_route_cache_metrics(topology: Topology, monitor: Monitor) -> None:
+    """Fold the topology's route-cache stats into ``monitor``.
+
+    Records the canonical ``net.route_cache.hits`` / ``.misses`` /
+    ``.invalidations`` counters.  Idempotent: each call adds only the
+    delta accumulated since the counters were last synced, so it is safe
+    to call once per epoch or once at the end of a run.
+    """
+    for name, total in topology.route_cache_stats.items():
+        counter = monitor.counter(f"net.route_cache.{name}")
+        delta = total - counter.value
+        if delta:
+            counter.add(delta)
+
+
+def _receiver_copy(message: Message) -> Message:
+    """A per-receiver copy of a broadcast message.
+
+    Keeps the ``msg_id`` (flooding/gossip dedup by id must keep working)
+    but gives the receiver its own ``hops`` list and a shallow copy of the
+    payload, so receivers cannot mutate each other's view.
+    """
+    return dataclasses.replace(
+        message,
+        hops=list(message.hops),
+        payload=copy.copy(message.payload) if message.payload is not None else None,
+    )
 
 
 class NetworkNode:
@@ -128,6 +159,10 @@ class WirelessNetwork:
         if tracer.enabled:
             span = tracer.span("net.send", msg_id=message.msg_id, src=message.src,
                                dst=message.dst, bits=message.size_bits)
+        if not self.topology.is_alive(message.src):
+            # a dead radio cannot transmit: no routing, no battery charge
+            self._drop(message, 0.0, on_complete, "dead-source", span)
+            return
         self._hop(message, message.src, 0.0, on_complete, start_time=self.sim.now, span=span)
 
     def broadcast_local(self, src: int, message: Message) -> list[int]:
@@ -137,6 +172,12 @@ class WirelessNetwork:
         (at full range), each neighbor pays one reception.  Returns the
         ids of neighbors that received it (loss drawn independently per
         receiver).  Used by flooding/gossip.
+
+        Each receiver gets its *own copy* of the message (same ``msg_id``,
+        fresh ``hops`` list, shallow-copied payload), exactly as each
+        radio decodes its own bytes off the air -- a receiver appending to
+        ``message.hops`` or mutating a dict/list payload cannot corrupt
+        what the other receivers see.
         """
         if not self.topology.is_alive(src):
             return []
@@ -153,7 +194,7 @@ class WirelessNetwork:
             self._charge(nbr, rx)
             self.monitor.counter("net.energy_j").add(rx)
             delivered.append(nbr)
-            self._deliver_later(nbr, message, hop_time)
+            self._deliver_later(nbr, _receiver_copy(message), hop_time)
         if self.tracer.enabled:
             self.tracer.event("net.broadcast", msg_id=message.msg_id, src=src,
                               reached=len(delivered), neighbors=len(neighbors))
@@ -248,6 +289,10 @@ class WirelessNetwork:
                 node.receive(message)
 
         self.sim.schedule(delay, deliver, label=f"bcast:{message.msg_id}")
+
+    def sync_route_cache_metrics(self) -> None:
+        """Record the topology's route-cache stats into this monitor."""
+        record_route_cache_metrics(self.topology, self.monitor)
 
     def _charge(self, node_id: int, joules: float) -> None:
         battery = self.nodes[node_id].battery

@@ -7,6 +7,26 @@ recomputed wholesale (a vectorized ``O(n^2)`` distance pass) whenever
 positions change or a node dies -- at the scales of the paper's scenarios
 (up to a few hundred nodes) this is far cheaper than incremental updates
 and trivially correct.
+
+Route cache
+-----------
+Graph queries are memoized behind the :attr:`Topology.version` generation
+counter: ``kill``/``revive``/``move``/``block_links`` (mobility epochs,
+battery deaths, partitions) bump the counter, and the first query at a new
+generation discards every cached answer.  On an unchanged topology a
+relayed hop therefore answers its route query from a dict lookup instead
+of re-running BFS -- the dominant cost of E2/E3-style workloads, where
+every epoch rebuilds the same aggregation tree.
+
+Cached answers are bit-identical to uncached BFS: neighbor expansion
+visits node ids in increasing order, so the parent map of a full BFS
+agrees with the parent map of an early-stopped BFS on every node the
+latter discovered, and path reconstruction from either yields the same
+min-hop path.  Hit/miss/invalidation totals are kept on the topology
+(:attr:`route_cache_hits` and friends);
+:func:`repro.network.network.record_route_cache_metrics` folds them into
+a :class:`~repro.simkernel.monitor.Monitor` under the canonical
+``net.route_cache.*`` names.
 """
 
 from __future__ import annotations
@@ -39,6 +59,19 @@ class Topology:
         self._blocked: np.ndarray | None = None
         self._adj: np.ndarray | None = None
         self._version = 0
+        # route cache: all entries valid only for _cache_version == _version
+        self._cache_version = 0
+        self._path_cache: dict[tuple[int, int], list[int] | None] = {}
+        self._parents_cache: dict[int, dict[int, int]] = {}
+        self._hops_cache: dict[int, dict[int, int]] = {}
+        self._dist_cache: dict[tuple[int, int], float] = {}
+        #: Route queries (shortest path / BFS tree / hop counts) answered
+        #: from the cache without running BFS.
+        self.route_cache_hits = 0
+        #: Route queries that ran BFS (and populated the cache).
+        self.route_cache_misses = 0
+        #: Times a topology change forced a non-empty cache to be discarded.
+        self.route_cache_invalidations = 0
 
     # ------------------------------------------------------------------
     # state
@@ -129,6 +162,26 @@ class Topology:
         self._adj = None
         self._version += 1
 
+    def _route_cache(self) -> None:
+        """Discard stale cached answers (lazy, on the next query)."""
+        if self._cache_version != self._version:
+            if self._path_cache or self._parents_cache or self._hops_cache or self._dist_cache:
+                self.route_cache_invalidations += 1
+                self._path_cache.clear()
+                self._parents_cache.clear()
+                self._hops_cache.clear()
+                self._dist_cache.clear()
+            self._cache_version = self._version
+
+    @property
+    def route_cache_stats(self) -> dict[str, int]:
+        """Cumulative cache effectiveness: hits, misses, invalidations."""
+        return {
+            "hits": self.route_cache_hits,
+            "misses": self.route_cache_misses,
+            "invalidations": self.route_cache_invalidations,
+        }
+
     # ------------------------------------------------------------------
     # adjacency & graph queries
     # ------------------------------------------------------------------
@@ -157,9 +210,15 @@ class Topology:
         return bool(self.adjacency[a, b])
 
     def distance(self, a: int, b: int) -> float:
-        """Euclidean distance between two nodes."""
-        delta = self._positions[a] - self._positions[b]
-        return float(np.hypot(delta[0], delta[1]))
+        """Euclidean distance between two nodes (memoized per generation)."""
+        self._route_cache()
+        key = (a, b) if a <= b else (b, a)
+        cached = self._dist_cache.get(key)
+        if cached is None:
+            delta = self._positions[a] - self._positions[b]
+            cached = float(np.hypot(delta[0], delta[1]))
+            self._dist_cache[key] = cached
+        return cached
 
     def nearest_to(self, point: np.ndarray, alive_only: bool = True) -> int:
         """Id of the node nearest to ``point``."""
@@ -169,33 +228,59 @@ class Topology:
         return int(np.argmin(dists))
 
     def shortest_path(self, src: int, dst: int) -> list[int] | None:
-        """Min-hop path from src to dst via BFS, or None if partitioned."""
+        """Min-hop path from src to dst via BFS, or None if partitioned.
+
+        Served from the route cache when the topology is unchanged since
+        the answer was computed; a cached answer is exactly what a fresh
+        BFS would return (deterministic lowest-id tie-breaking).
+        """
         if src == dst:
             return [src]
         if not (self._alive[src] and self._alive[dst]):
             return None
-        parent = self._bfs_parents(src, stop_at=dst)
+        self._route_cache()
+        key = (src, dst)
+        if key in self._path_cache:
+            self.route_cache_hits += 1
+            cached = self._path_cache[key]
+            return None if cached is None else list(cached)
+        parent = self._parents_cache.get(src)
+        if parent is None:
+            self.route_cache_misses += 1
+            parent = self._bfs_parents(src)
+            self._parents_cache[src] = parent
+        else:
+            self.route_cache_hits += 1
         if dst not in parent:
+            self._path_cache[key] = None
             return None
         path = [dst]
         while path[-1] != src:
             path.append(parent[path[-1]])
         path.reverse()
-        return path
+        self._path_cache[key] = path
+        return list(path)
 
     def hop_counts_from(self, root: int) -> dict[int, int]:
         """BFS hop distance from ``root`` to every reachable living node."""
-        hops = {root: 0}
-        frontier = collections.deque([root])
-        adj = self.adjacency
-        while frontier:
-            u = frontier.popleft()
-            for v in np.flatnonzero(adj[u]):
-                v = int(v)
-                if v not in hops:
-                    hops[v] = hops[u] + 1
-                    frontier.append(v)
-        return hops
+        self._route_cache()
+        hops = self._hops_cache.get(root)
+        if hops is None:
+            self.route_cache_misses += 1
+            hops = {root: 0}
+            frontier = collections.deque([root])
+            adj = self.adjacency
+            while frontier:
+                u = frontier.popleft()
+                for v in np.flatnonzero(adj[u]):
+                    v = int(v)
+                    if v not in hops:
+                        hops[v] = hops[u] + 1
+                        frontier.append(v)
+            self._hops_cache[root] = hops
+        else:
+            self.route_cache_hits += 1
+        return dict(hops)
 
     def bfs_tree(self, root: int) -> dict[int, int]:
         """Parent map of a min-hop spanning tree rooted at ``root``.
@@ -204,9 +289,17 @@ class Topology:
         between candidate parents are broken by lowest node id, making the
         tree deterministic.
         """
-        parent = self._bfs_parents(root)
-        parent[root] = root
-        return parent
+        self._route_cache()
+        parent = self._parents_cache.get(root)
+        if parent is None:
+            self.route_cache_misses += 1
+            parent = self._bfs_parents(root)
+            self._parents_cache[root] = parent
+        else:
+            self.route_cache_hits += 1
+        tree = dict(parent)
+        tree[root] = root
+        return tree
 
     def _bfs_parents(self, root: int, stop_at: int | None = None) -> dict[int, int]:
         parent: dict[int, int] = {}

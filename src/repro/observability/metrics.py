@@ -79,6 +79,10 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("net.hops", "counter", "1", "hops traversed by delivered messages"),
     MetricSpec("net.node_deaths", "counter", "1", "nodes killed by battery depletion"),
     MetricSpec("net.latency", "series", "s", "per-delivery end-to-end latency"),
+    MetricSpec("net.route_cache.hits", "counter", "1", "route queries answered from cache"),
+    MetricSpec("net.route_cache.misses", "counter", "1", "route queries that ran a fresh BFS"),
+    MetricSpec("net.route_cache.invalidations", "counter", "1",
+               "cache flushes caused by topology changes"),
     # energy
     MetricSpec("energy.j_spent", "counter", "J", "radio energy drawn from batteries"),
     # queries
@@ -105,6 +109,9 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("resilience.breaker_trips", "counter", "1", "circuit-breaker opens"),
     MetricSpec("resilience.retries", "counter", "1", "retry attempts (all layers)"),
     MetricSpec("resilience.hedges", "counter", "1", "hedged duplicates fired"),
+    # parallel (the trial runner's deterministic reduction)
+    MetricSpec("parallel.trials", "counter", "1", "trial worlds reduced into this monitor"),
+    MetricSpec("parallel.trial_failures", "counter", "1", "trial worlds that failed in a worker"),
     # slo (the verdict layer watching all of the above)
     MetricSpec("slo.evaluations", "counter", "1", "SLO evaluation ticks executed"),
     MetricSpec("slo.alerts_fired", "counter", "1", "SLO alerts transitioned to firing"),

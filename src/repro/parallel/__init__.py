@@ -1,0 +1,30 @@
+"""Parallel experiment execution.
+
+Shards independent simulation worlds across worker processes and folds
+their monitors back together deterministically -- see
+:mod:`repro.parallel.runner` for the determinism contract.
+"""
+
+from repro.parallel.runner import (
+    SweepResult,
+    TrialError,
+    TrialOutcome,
+    TrialResult,
+    TrialRunner,
+    TrialSpec,
+    cell_specs,
+    run_trials,
+    seed_specs,
+)
+
+__all__ = [
+    "SweepResult",
+    "TrialError",
+    "TrialOutcome",
+    "TrialResult",
+    "TrialRunner",
+    "TrialSpec",
+    "cell_specs",
+    "run_trials",
+    "seed_specs",
+]

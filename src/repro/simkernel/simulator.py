@@ -153,6 +153,14 @@ class Simulator:
 
         The loop also stops early if :meth:`stop` is called from inside an
         event callback.
+
+        Clock contract: on return, ``now`` has advanced to ``until``
+        unless the run was cut short (by :meth:`stop` or ``max_events``)
+        while a live event at or before ``until`` is still pending -- the
+        clock never jumps past work that has not run.  Every exit path
+        obeys the same rule; in particular a ``max_events`` exit whose
+        only remaining events are cancelled or later than ``until`` still
+        lands exactly on ``until``.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -161,20 +169,22 @@ class Simulator:
         executed = 0
         try:
             while self._heap and not self._stopped:
-                if max_events is not None and executed >= max_events:
-                    return
                 # Peek: skip cancelled events without advancing the clock.
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and head.time > until:
-                    self._now = float(until)
-                    return
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
                 self.step()
                 executed += 1
             if until is not None and not self._stopped and self._now < until:
-                self._now = float(until)
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap or self._heap[0].time > until:
+                    self._now = float(until)
         finally:
             self._running = False
 

@@ -285,3 +285,81 @@ class TestChurn:
         sim, topo, net = make_net()
         with pytest.raises(ValueError):
             ChurnProcess(sim, topo, [1], np.random.default_rng(0), mean_up_s=0.0)
+
+
+class TestBroadcastIsolation:
+    """Each broadcast receiver must get its own copy of the message."""
+
+    def test_receivers_cannot_corrupt_each_others_hops(self):
+        sim, topo, net = make_net()
+        got = {}
+        for nbr in (0, 2):
+            def receive(msg, nbr=nbr):
+                msg.hops.append(nbr)  # receiver-side bookkeeping
+                got[nbr] = msg
+            net.nodes[nbr].receive = receive
+        net.broadcast_local(1, Message(src=1, dst=None, size_bits=100.0))
+        sim.run()
+        assert got[0].hops == [0] and got[2].hops == [2]
+
+    def test_payload_mutation_stays_local(self):
+        sim, topo, net = make_net()
+        original = {"count": 0}
+        got = {}
+        for nbr in (0, 2):
+            def receive(msg, nbr=nbr):
+                msg.payload["count"] += 1
+                got[nbr] = msg.payload["count"]
+            net.nodes[nbr].receive = receive
+        net.broadcast_local(1, Message(src=1, dst=None, size_bits=100.0,
+                                       payload=original))
+        sim.run()
+        # each receiver incremented its own copy exactly once, and the
+        # sender's payload object was never touched
+        assert got == {0: 1, 2: 1}
+        assert original["count"] == 0
+
+    def test_copies_keep_msg_id_for_dedup(self):
+        sim, topo, net = make_net()
+        got = []
+        for nbr in (0, 2):
+            net.nodes[nbr].receive = got.append
+        msg = Message(src=1, dst=None, size_bits=100.0)
+        net.broadcast_local(1, msg)
+        sim.run()
+        assert [m.msg_id for m in got] == [msg.msg_id, msg.msg_id]
+        assert all(m is not msg for m in got)
+
+
+class TestDeadSource:
+    """A dead radio cannot transmit: no routing, no battery charge."""
+
+    def test_send_from_dead_source_drops(self):
+        sim, topo, net = make_net()
+        topo.kill(0)
+        receipts = []
+        net.send(Message(src=0, dst=4, size_bits=1000.0), receipts.append)
+        sim.run()
+        (r,) = receipts
+        assert not r.delivered
+        assert r.reason == "dead-source"
+        assert r.hops == 0 and r.energy_j == 0.0
+        assert net.monitor.counters()["net.dropped"] == 1
+
+    def test_dead_source_charges_no_battery(self):
+        batteries = [Battery(1.0) for _ in range(5)]
+        sim, topo, net = make_net(batteries=batteries)
+        topo.kill(0)
+        net.send(Message(src=0, dst=4, size_bits=1000.0))
+        sim.run()
+        assert all(b.remaining == 1.0 and b.draws == 0 for b in batteries)
+        assert net.monitor.counters().get("net.energy_j", 0.0) == 0.0
+
+    def test_live_source_still_routes(self):
+        sim, topo, net = make_net()
+        topo.kill(0)
+        topo.revive(0)
+        receipts = []
+        net.send(Message(src=0, dst=4, size_bits=1000.0), receipts.append)
+        sim.run()
+        assert receipts[0].delivered

@@ -1,0 +1,155 @@
+"""TrialRunner: deterministic reduction across worker processes.
+
+The load-bearing property is the determinism contract: the merged
+monitor, per-trial metrics and merged trace are bit-identical whether
+the sweep ran serially or across N processes.  Trial functions here are
+module-level (they must pickle into workers).
+"""
+
+import json
+
+import pytest
+
+from repro.observability.tracer import Tracer
+from repro.parallel import (
+    SweepResult,
+    TrialError,
+    TrialResult,
+    TrialRunner,
+    TrialSpec,
+    cell_specs,
+    run_trials,
+    seed_specs,
+)
+from repro.simkernel import Monitor, Simulator
+
+
+def sim_trial(spec):
+    """A tiny but real simulation world: N events, counters, a trace."""
+    sim = Simulator()
+    monitor = Monitor()
+    tracer = Tracer(sim)
+    sim.tracer = tracer
+    with tracer.span("world", seed=spec.seed):
+        for i in range(spec.seed % 5 + 1):
+            sim.schedule(float(i + 1), lambda i=i: monitor.counter("ticks").add(i + 1))
+        sim.run(until=10.0)
+    monitor.series("trail").record(sim.now, float(spec.seed))
+    return TrialResult(
+        monitor=monitor,
+        metrics={"seed": spec.seed, "events": sim.events_executed},
+        trace=tracer if spec.trace else None,
+        sim_time_s=sim.now,
+    )
+
+
+def failing_trial(spec):
+    if spec.params.get("fail"):
+        raise RuntimeError(f"boom-{spec.index}")
+    return TrialResult(metrics={"ok": True})
+
+
+def not_a_result(spec):
+    return {"oops": True}
+
+
+class TestDeterminism:
+    def test_serial_vs_parallel_bit_identical(self):
+        specs = seed_specs([5, 1, 3, 2], trace=True)
+        serial = TrialRunner(sim_trial, workers=1).run(specs)
+        parallel = TrialRunner(sim_trial, workers=2).run(specs)
+        assert serial.monitor.summary() == parallel.monitor.summary()
+        assert serial.metrics_by_index() == parallel.metrics_by_index()
+        assert serial.trace == parallel.trace
+        assert serial.workers == 1 and parallel.workers == 2
+
+    def test_reduction_order_is_index_order_not_completion_order(self):
+        # seeds chosen so worker finish order differs from index order;
+        # the merged series must still list trials by index
+        specs = seed_specs([9, 0, 4])
+        sweep = TrialRunner(sim_trial, workers=3).run(specs)
+        assert list(sweep.monitor.series("trail").values) == [9.0, 0.0, 4.0]
+
+    def test_parallel_counters(self):
+        sweep = run_trials(sim_trial, seed_specs([1, 2, 3]), workers=2)
+        assert sweep.monitor.counter("parallel.trials").value == 3
+        assert sweep.monitor.counter("parallel.trial_failures").value == 0
+
+    def test_no_wall_clock_in_monitor(self):
+        sweep = run_trials(sim_trial, seed_specs([1, 2]), workers=2)
+        assert sweep.wall_s > 0.0 and sweep.trial_wall_s > 0.0
+        for key in sweep.monitor.summary():
+            assert "wall" not in key and "speedup" not in key
+
+
+class TestFailures:
+    def test_raise_by_default(self):
+        specs = cell_specs([{"fail": False}, {"fail": True}])
+        with pytest.raises(TrialError, match="boom-1"):
+            TrialRunner(failing_trial, workers=2).run(specs)
+
+    def test_keep_records_failures(self):
+        specs = cell_specs([{"fail": False}, {"fail": True}, {"fail": False}])
+        sweep = TrialRunner(failing_trial, workers=2, on_error="keep").run(specs)
+        assert sweep.failures == 1
+        assert [o.ok for o in sweep.outcomes] == [True, False, True]
+        assert "boom-1" in sweep.outcomes[1].error
+        assert sweep.monitor.counter("parallel.trial_failures").value == 1
+        assert sweep.monitor.counter("parallel.trials").value == 3
+
+    def test_wrong_return_type_is_a_trial_error(self):
+        with pytest.raises(TrialError, match="expected TrialResult"):
+            TrialRunner(not_a_result).run(seed_specs([0]))
+
+    def test_duplicate_indexes_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TrialRunner(sim_trial).run([TrialSpec(0), TrialSpec(0)])
+
+
+class TestTraceMerge:
+    def test_each_world_nests_under_a_trial_span(self):
+        sweep = run_trials(sim_trial, seed_specs([4, 7], trace=True), workers=2)
+        roots = [r for r in sweep.trace if r["name"] == "parallel.trial"]
+        assert len(roots) == 2
+        assert [r["attrs"]["seed"] for r in roots] == [4, 7]
+        for root in roots:
+            children = [r for r in sweep.trace
+                        if r.get("parent") == root["span"]]
+            assert children, "world records must be reparented under the trial"
+            assert root["end"] == 10.0  # the world's final virtual time
+        # remapped ids never collide across trials
+        span_ids = [r["span"] for r in sweep.trace if r.get("span") is not None]
+        assert len(span_ids) == len(set(span_ids))
+
+    def test_export_trace_jsonl(self, tmp_path):
+        sweep = run_trials(sim_trial, seed_specs([2], trace=True))
+        path = tmp_path / "trace.jsonl"
+        lines = sweep.export_trace(path)
+        loaded = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(loaded) == lines == len(sweep.trace)
+        assert loaded[0]["name"] == "parallel.trial"
+
+    def test_untraced_trials_produce_no_records(self):
+        sweep = run_trials(sim_trial, seed_specs([1, 2], trace=False))
+        assert sweep.trace == []
+
+
+class TestSpecsAndHelpers:
+    def test_seed_specs(self):
+        specs = seed_specs([11, 13], trace=True, n=49)
+        assert [s.seed for s in specs] == [11, 13]
+        assert all(s.params == {"n": 49} and s.trace for s in specs)
+
+    def test_cell_specs(self):
+        specs = cell_specs([{"a": 1}, {"a": 2}], seed=5)
+        assert [(s.index, s.seed, s.params) for s in specs] == [
+            (0, 5, {"a": 1}), (1, 5, {"a": 2})]
+
+    def test_workers_capped_at_trial_count(self):
+        sweep = run_trials(sim_trial, seed_specs([1]), workers=8)
+        assert sweep.workers == 1
+
+    def test_speedup_reflects_aggregate_work(self):
+        sweep = run_trials(sim_trial, seed_specs([1, 2, 3, 4]), workers=2)
+        assert isinstance(sweep, SweepResult)
+        assert sweep.speedup > 0.0

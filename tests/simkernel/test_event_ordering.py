@@ -1,0 +1,92 @@
+"""Event-heap ordering invariants.
+
+The kernel's reproducibility rests on the total order ``(time, priority,
+seq)`` and on lazy cancellation never perturbing it.  These tests pin:
+FIFO order for same-time/same-priority events, cancelled heap heads
+being skipped without advancing the clock, and ``EventHandle.cancel``
+being a harmless no-op after the event fired.
+"""
+
+from repro.simkernel import Simulator
+from repro.simkernel.event import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+
+
+def test_same_time_same_priority_fifo_by_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(8):
+        sim.schedule(5.0, lambda tag=tag: fired.append(tag))
+    sim.run()
+    assert fired == list(range(8))
+
+
+def test_priority_breaks_time_ties():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("normal"), priority=PRIORITY_NORMAL)
+    sim.schedule(5.0, lambda: fired.append("low"), priority=PRIORITY_LOW)
+    sim.schedule(5.0, lambda: fired.append("high"), priority=PRIORITY_HIGH)
+    sim.schedule(1.0, lambda: fired.append("earlier"))
+    sim.run()
+    assert fired == ["earlier", "high", "normal", "low"]
+
+
+def test_zero_delay_events_fifo_behind_same_time_peers():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.0, lambda: fired.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: fired.append("second"))
+    sim.run()
+    # the nested zero-delay event was scheduled after "second", so FIFO
+    # seq order runs it last
+    assert fired == ["first", "second", "nested"]
+
+
+def test_cancelled_head_skipped_without_advancing_clock():
+    sim = Simulator()
+    fired = []
+    doomed = sim.schedule(1.0, lambda: fired.append("doomed"))
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    doomed.cancel()
+    assert sim.step()  # skips the cancelled head, executes the live event
+    assert fired == [5.0]
+    assert sim.now == 5.0  # never dwelt at t=1
+    assert sim.events_executed == 1
+
+
+def test_step_on_all_cancelled_heap_is_exhaustion():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(1.0, lambda: None).cancel()
+    assert sim.step() is False
+    assert sim.now == 0.0
+    assert sim.pending == 0  # the skips drained the heap
+
+
+def test_cancel_after_firing_is_a_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+    handle.cancel()  # must not raise, must not un-run anything
+    handle.cancel()  # idempotent too
+    assert handle.cancelled
+    assert sim.events_executed == 2
+
+
+def test_cancel_before_firing_prevents_execution():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    handle.cancel()  # idempotent
+    sim.run()
+    assert fired == []
+    assert sim.events_executed == 0

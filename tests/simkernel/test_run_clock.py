@@ -1,0 +1,88 @@
+"""Clock-consistency contract of ``Simulator.run``.
+
+Regression tests for the ``max_events`` exit path: every way out of
+``run(until=...)`` must leave ``now`` either at ``until`` (nothing live
+remains at or before it) or at the last executed event (work was cut
+short).  The clock never jumps past unrun work and never stalls when
+only cancelled or later events remain.
+"""
+
+from repro.simkernel import Simulator
+
+
+def test_until_advances_clock_with_empty_heap():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_until_advances_clock_past_last_event():
+    sim = Simulator()
+    sim.schedule(3.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_max_events_exit_with_no_remaining_work_lands_on_until():
+    # the regression: exhausting max_events used to return with now stuck
+    # at the last event even though nothing else was pending before until
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=10.0, max_events=3)
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.now == 10.0
+
+
+def test_max_events_exit_with_live_pending_event_holds_clock():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(until=10.0, max_events=2)
+    assert fired == [1.0, 2.0]
+    # the t=3 event has not run; the clock must not jump past it
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0, 3.0] and sim.now == 10.0
+
+
+def test_max_events_exit_with_only_cancelled_remainder_lands_on_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    doomed = sim.schedule(5.0, lambda: fired.append(5.0))
+    doomed.cancel()
+    sim.run(until=10.0, max_events=1)
+    assert fired == [1.0]
+    assert sim.now == 10.0  # cancelled events are not unrun work
+
+
+def test_max_events_exit_with_only_later_events_lands_on_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1.0))
+    sim.schedule(50.0, lambda: fired.append(50.0))
+    sim.run(until=10.0, max_events=1)
+    assert fired == [1.0]
+    assert sim.now == 10.0  # the 50.0 event is beyond the horizon
+
+
+def test_stop_holds_clock_when_live_work_remains():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1.0), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2.0))
+    sim.run(until=10.0)
+    assert fired == [1.0]
+    assert sim.now == 1.0
+
+
+def test_max_events_without_until_never_advances_past_work():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0):
+        sim.schedule(t, lambda t=t: fired.append(t))
+    sim.run(max_events=1)
+    assert fired == [1.0] and sim.now == 1.0
