@@ -19,6 +19,7 @@ import numpy as np
 from repro.discovery import (
     Constraint,
     Preference,
+    ReplicatedRegistry,
     SemanticMatcher,
     ServiceRegistry,
     ServiceRequest,
@@ -151,3 +152,69 @@ def test_e5_discovery_quality(benchmark, table, once):
     assert summary["semantic"][2] > 0.8
     # ablation: dropping the degree lattice must not help
     assert summary["semantic"][2] >= summary["semantic-flat"][2]
+
+
+# ----------------------------------------------------------------------
+# E5 extension: the sharded, replicated registry answers identically
+# ----------------------------------------------------------------------
+SHARD_CONFIGS = [(1, 1), (2, 2), (4, 2), (8, 3)]
+
+
+def run_replicated_equivalence():
+    """Every (n_shards, R) config must return byte-identical ranked
+    results to the unsharded registry -- including with any single
+    replica down when R >= 2."""
+    rng = np.random.default_rng(31)
+    from repro.workloads import ServicePopulation
+
+    population = [g.description for g in ServicePopulation(rng).generate(N_SERVICES)]
+    ontology = build_service_ontology()
+    matcher = SemanticMatcher(ontology)
+    plain = ServiceRegistry(matcher)
+    for d in population:
+        plain.advertise(d)
+    requests = make_requests(rng)
+    reference = [
+        [(m.service.name, m.degree, round(m.score, 12))
+         for m in plain.search(req, top_k=TOP_K)]
+        for req in requests
+    ]
+
+    rows = []
+    for n_shards, replication in SHARD_CONFIGS:
+        rep = ReplicatedRegistry(matcher, n_shards, replication)
+        for d in population:
+            rep.advertise(d)
+        answers = [
+            [(m.service.name, m.degree, round(m.score, 12))
+             for m in rep.search(req, top_k=TOP_K)]
+            for req in requests
+        ]
+        identical = answers == reference
+        degraded_identical = True
+        if replication >= 2:
+            for shard in range(n_shards):
+                rep.mark_down(shard)
+                degraded = [
+                    [(m.service.name, m.degree, round(m.score, 12))
+                     for m in rep.search(req, top_k=TOP_K)]
+                    for req in requests
+                ]
+                degraded_identical = degraded_identical and degraded == reference
+                rep.mark_up(shard)
+        rows.append([f"{n_shards}x{replication}", len(rep), identical,
+                     degraded_identical if replication >= 2 else "n/a"])
+    return rows
+
+
+def test_e5_replicated_lookup_equivalence(benchmark, table, once):
+    rows = once(benchmark, run_replicated_equivalence)
+    table(
+        f"E5 (replicated): lookup equivalence over {N_REQUESTS} requests",
+        ["shards x R", "services", "identical", "1-replica-down identical"],
+        rows,
+        fmt="{:>26}",
+    )
+    for row in rows:
+        assert row[2] is True, f"config {row[0]} diverged from the unsharded registry"
+        assert row[3] in (True, "n/a"), f"config {row[0]} lost answers with a replica down"

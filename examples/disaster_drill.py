@@ -11,15 +11,21 @@ degrading instead of crashing:
 1. healthy: the complex distribution query offloads to the grid;
 2. backhaul outage: the grid is unreachable, so the Decision Maker
    falls back to a local model at lower accuracy;
-3. base-station crash: in-network collection loses its sink and the
+3. broker-host crash: the node hosting the *active* discovery broker
+   burns; the broker group detects the loss, promotes the lowest-id
+   live standby, and the standby replays the shared event log --
+   discovery comes back with nothing lost;
+4. base-station crash: in-network collection loses its sink and the
    query layer reports "no feasible model" -- an answer, not a
    traceback.
 
 The run is watched by the SLO engine: the default grid objectives
 (query latency/failure ratio, energy per epoch, uplink availability)
-are evaluated every 15 s of simulated time, the uplink alert fires
-during the backhaul outage and resolves after recovery, and the drill
-closes with the grid health verdict and the alert timeline.
+plus the discovery objectives are evaluated every 15 s of simulated
+time.  The uplink alert fires during the backhaul outage and resolves
+after recovery; ``disc.broker_availability`` fires during the broker
+failover and resolves once the promoted standby's window is clean.
+The drill closes with the grid health verdict and the alert timeline.
 
 Run:  python examples/disaster_drill.py
       python examples/disaster_drill.py --trace
@@ -29,6 +35,7 @@ Run:  python examples/disaster_drill.py
 
 import argparse
 
+from repro.discovery import ServiceDescription
 from repro.faults import NodeCrash, UplinkOutage
 from repro.observability.analysis import Trace
 from repro.observability.report import pick_root, render_critical_path, render_rollup
@@ -59,12 +66,23 @@ def main(argv=None) -> None:
     tracing = args.trace or args.export is not None
 
     runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2,
-                            trace=tracing)
+                            trace=tracing, broker_hosts=(1, 2, 3),
+                            broker_detection_delay_s=25.0)
     injector = runtime.fault_injector()
     base = runtime.deployment.base_station_id
+    group = runtime.broker_group
+    broker_host = group.active.host_node
+
+    # the building's sensor services, advertised through discovery so the
+    # broker group has real state to carry across the failover
+    for i in range(6):
+        runtime.registry.advertise(ServiceDescription(
+            name=f"temp-sensor-{i}", category="TemperatureSensorService",
+            provider=f"sensor-{i}", host_node=i, uuid=f"drill-temp-{i}"))
 
     # the drill's fault script, scheduled up front like a real exercise
     injector.schedule(UplinkOutage(at_s=120.0, duration_s=240.0))
+    injector.schedule(NodeCrash(broker_host, at_s=450.0))
     injector.schedule(NodeCrash(base, at_s=600.0))
 
     # the SLO engine watches the whole drill in simulated time
@@ -86,6 +104,19 @@ def main(argv=None) -> None:
     print(f"\n=== t={runtime.sim.now:.0f} s: backhaul restored "
           f"(uplink online={runtime.grid.uplink.online}) ===")
     show("distribution (complex)", runtime.query(DISTRIBUTION_Q))
+
+    runtime.sim.run(until=560.0)
+    print(f"\n=== t={runtime.sim.now:.0f} s: broker host {broker_host} burned "
+          f"at t=450 s -- single-active failover ===")
+    for event in group.timeline:
+        who = "-" if event.broker_id is None else f"broker {event.broker_id}"
+        print(f"  t={event.time_s:7.1f} s  {event.phase:<9} {who:<9} {event.detail}")
+    n_services = len(group.active.view.services())
+    print(f"  active broker: {group.active_id} (host "
+          f"{group.active.host_node}), failovers={group.failovers}, "
+          f"staleness={group.staleness()} events")
+    print(f"  {n_services} advertisements served (host {broker_host}'s own "
+          f"was withdrawn with the node; none lost to the failover)")
 
     runtime.sim.run(until=630.0)
     alive = runtime.deployment.topology.is_alive(base)
@@ -110,6 +141,10 @@ def main(argv=None) -> None:
 
     # close the books: one final evaluation at the drill's end, then the verdict
     evaluator.tick()
+    availability = evaluator.status["disc.broker_availability"]
+    print(f"\ndiscovery availability alert: fired {availability.fired}x during "
+          f"the broker failover, resolved {availability.resolved}x after "
+          f"promotion, firing now: {availability.firing}")
     print("\n=== SLO health verdict ===")
     print(render_health(evaluator))
 

@@ -49,6 +49,13 @@ class _ComposerBase(Agent):
 
     Parameters
     ----------
+    broker:
+        The broker agent's name, or a zero-argument callable returning
+        it.  A callable is re-resolved on **every** query -- including
+        hedge waves and retry attempts -- so discovery that straddles a
+        broker failover addresses whichever broker serves the name now
+        (pass ``group.active_name`` when running a
+        :class:`~repro.discovery.failover.BrokerGroup`).
     retry:
         Backoff policy for whole-discovery retries (None = single shot).
     hedge:
@@ -63,7 +70,7 @@ class _ComposerBase(Agent):
         name: str,
         planner: HTNPlanner,
         manager: CompositionManager,
-        broker: str,
+        broker: str | typing.Callable[[], str],
         discovery_timeout_s: float = 30.0,
         retry: RetryPolicy | None = None,
         hedge: Hedge | None = None,
@@ -86,6 +93,10 @@ class _ComposerBase(Agent):
     def setup(self) -> None:
         self.on(Performative.INFORM, self._handle_inform)
         self.on(Performative.FAILURE, self._handle_failure)
+
+    def _broker_name(self) -> str:
+        """The broker to address right now (late-bound for failover)."""
+        return self.broker() if callable(self.broker) else self.broker
 
     # ------------------------------------------------------------------
     def _discover(
@@ -162,7 +173,7 @@ class _ComposerBase(Agent):
         context["settle"] = settle
 
         def query(task) -> None:
-            msg = self.ask(self.broker, Performative.QUERY, task.to_request())
+            msg = self.ask(self._broker_name(), Performative.QUERY, task.to_request())
             self._pending[msg.conversation_id] = {"context": context, "task": task}
             conv_ids.append(msg.conversation_id)
 
@@ -265,7 +276,7 @@ class ProactiveComposer(_ComposerBase):
     """
 
     def __init__(self, name: str, planner: HTNPlanner, manager: CompositionManager,
-                 broker: str, **kwargs) -> None:
+                 broker: str | typing.Callable[[], str], **kwargs) -> None:
         super().__init__(name, planner, manager, broker, **kwargs)
         self._cache: dict[str, tuple[TaskGraph, dict[str, Binding]]] = {}
         self.cache_hits = 0

@@ -14,9 +14,11 @@ import typing
 from repro.agents.platform import AgentPlatform
 from repro.core.decision import DecisionMaker, DecisionPolicy, EstimateGreedyPolicy
 from repro.discovery.broker import BrokerAgent
+from repro.discovery.failover import BrokerGroup
+from repro.discovery.log import EventLog
 from repro.discovery.matcher import SemanticMatcher
 from repro.discovery.ontology import build_service_ontology
-from repro.discovery.registry import ServiceRegistry
+from repro.discovery.replica import ReplicatedRegistry
 from repro.grid.infrastructure import GridInfrastructure
 from repro.network.radio import RadioModel
 from repro.observability.tracer import NOOP_TRACER, Tracer
@@ -51,6 +53,20 @@ class PervasiveGridRuntime:
         subsystem (simulator, network, executor, grid, faults); export
         it with :meth:`export_trace`.  Default off: the shared no-op
         tracer, which costs nothing on the record path.
+    discovery_shards / discovery_replication:
+        Shape of the replicated discovery store: consistent-hash shards
+        and copies per ontology class (see
+        :class:`~repro.discovery.replica.ReplicatedRegistry`).  Search
+        results are identical at any setting.
+    broker_hosts:
+        When set, discovery runs as a single-active
+        :class:`~repro.discovery.failover.BrokerGroup` with one member
+        per entry (the topology node each broker runs on; member 0
+        starts active) -- killing the active's host via the fault
+        injector triggers standby promotion.  Default None: one
+        always-up broker, the pre-failover behavior.
+    broker_detection_delay_s:
+        Failure-detection delay before the group promotes a standby.
     """
 
     def __init__(
@@ -70,6 +86,10 @@ class PervasiveGridRuntime:
         placement: str = "grid",
         noise_std: float = 0.5,
         trace: bool = False,
+        discovery_shards: int = 4,
+        discovery_replication: int = 2,
+        broker_hosts: typing.Sequence[int | None] | None = None,
+        broker_detection_delay_s: float = 2.0,
     ) -> None:
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
@@ -103,12 +123,38 @@ class PervasiveGridRuntime:
         self.decision_maker = DecisionMaker(self.models, self.policy)
         self.executor = QueryExecutor(self.ctx, self.decision_maker)
 
-        # the service/agent overlay (discovery + composition live here)
+        # the service/agent overlay (discovery + composition live here).
+        # All discovery state materializes one shared append-only log;
+        # the registry façade and every broker view are replayable,
+        # deterministic folds of it.
         self.platform = AgentPlatform(self.sim)
         self.ontology = build_service_ontology()
-        self.registry = ServiceRegistry(SemanticMatcher(self.ontology))
-        self.broker = BrokerAgent("broker", self.registry)
-        self.platform.register(self.broker)
+        matcher = SemanticMatcher(self.ontology)
+        self.discovery_log = EventLog(clock=lambda: self.sim.now)
+        self.registry = ReplicatedRegistry(
+            matcher, discovery_shards, discovery_replication,
+            log=self.discovery_log, monitor=self.deployment.monitor,
+            name="runtime")
+        self.broker_group: BrokerGroup | None = None
+        self._broker: BrokerAgent | None = None
+        if broker_hosts is None:
+            self._broker = BrokerAgent("broker", self.registry)
+            self.platform.register(self._broker)
+        else:
+            self.broker_group = BrokerGroup(
+                self.sim, self.platform, self.discovery_log, matcher,
+                broker_hosts, n_shards=discovery_shards,
+                replication=discovery_replication,
+                detection_delay_s=broker_detection_delay_s,
+                monitor=self.deployment.monitor, tracer=self.tracer)
+
+    @property
+    def broker(self) -> BrokerAgent | None:
+        """The broker currently serving the well-known ``"broker"`` name
+        (None mid-failover when running with ``broker_hosts``)."""
+        if self.broker_group is not None:
+            return self.broker_group.active_broker()
+        return self._broker
 
     # ------------------------------------------------------------------
     def fault_injector(self) -> "FaultInjector":
@@ -118,13 +164,19 @@ class PervasiveGridRuntime:
         and network, the grid uplink, and the radio holders the cost
         estimators read.  Nodes taken down by faults have their service
         advertisements withdrawn from the discovery registry, exactly as
-        churn does.
+        churn does; when the runtime has a broker group, node deaths and
+        recoveries also drive its single-active failover protocol.
         """
         from repro.faults import FaultDomain, FaultInjector
 
         def on_node_change(node: int, up: bool) -> None:
-            if not up:
+            if up:
+                if self.broker_group is not None:
+                    self.broker_group.node_up(node)
+            else:
                 self.registry.withdraw_host(node)
+                if self.broker_group is not None:
+                    self.broker_group.node_down(node)
 
         domain = FaultDomain(
             sim=self.sim,
@@ -151,8 +203,10 @@ class PervasiveGridRuntime:
         Builds an evaluator over this runtime's simulator and monitor
         (default objectives:
         :func:`~repro.observability.slo.default_slos`), registers the
-        ``grid.uplink_online`` probe the uplink-availability SLO reads,
-        and starts evaluation ticks every ``interval_s`` of simulated
+        ``grid.uplink_online`` probe the uplink-availability SLO reads
+        plus the ``disc.broker_online`` / ``disc.staleness`` probes the
+        discovery SLOs read, and starts evaluation ticks every
+        ``interval_s`` of simulated
         time up to ``until_s``.  Alert fire/resolve land on this
         runtime's tracer when it is enabled; call
         :func:`~repro.observability.slo.render_health` on the returned
@@ -168,6 +222,16 @@ class PervasiveGridRuntime:
         uplink = self.grid.uplink
         evaluator.probe("grid.uplink_online",
                         lambda: 1.0 if uplink.online else 0.0)
+        group, platform, registry = self.broker_group, self.platform, self.registry
+        if group is not None:
+            evaluator.probe("disc.broker_online",
+                            lambda: 1.0 if group.online() else 0.0)
+            evaluator.probe("disc.staleness",
+                            lambda: float(group.staleness()))
+        else:
+            evaluator.probe("disc.broker_online",
+                            lambda: 1.0 if platform.is_registered("broker") else 0.0)
+            evaluator.probe("disc.staleness", lambda: float(registry.lag))
         return evaluator.start(until_s)
 
     # ------------------------------------------------------------------

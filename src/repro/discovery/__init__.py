@@ -19,8 +19,16 @@ expressiveness gap is measurable (experiment E5):
   soft preferences.
 * :mod:`~repro.discovery.matcher` -- degrees EXACT > PLUGIN > SUBSUMES >
   OVERLAP > FAIL with fuzzy scoring and ranking.
+* :mod:`~repro.discovery.log` -- the append-only registry event log
+  (the source of truth every store materializes).
+* :mod:`~repro.discovery.shard` -- consistent-hash sharding of
+  descriptions by ontology class.
 * :mod:`~repro.discovery.registry` -- local and distributed broker
-  registries.
+  registries (log-backed, deterministically rebuildable).
+* :mod:`~repro.discovery.replica` -- the sharded, replicated registry
+  over one shared log.
+* :mod:`~repro.discovery.failover` -- single-active broker groups with
+  deterministic standby promotion.
 * :mod:`~repro.discovery.broker` -- the broker *agent* speaking ACL.
 * :mod:`~repro.discovery.protocols` -- Jini interface matching,
   Bluetooth-SDP UUID matching, and SLP attribute matching baselines.
@@ -29,9 +37,13 @@ expressiveness gap is measurable (experiment E5):
 from repro.discovery.ontology import Ontology, build_service_ontology
 from repro.discovery.constraints import Constraint, Preference
 from repro.discovery.description import ServiceDescription, ServiceRequest
+from repro.discovery.log import EventLog, RegistryEvent, apply_event
 from repro.discovery.matcher import MatchDegree, MatchResult, SemanticMatcher
+from repro.discovery.shard import ShardMap, stable_hash
 from repro.discovery.registry import ServiceRegistry, DistributedBrokerNetwork
+from repro.discovery.replica import ReplicaRegistry, ReplicatedRegistry
 from repro.discovery.broker import BrokerAgent
+from repro.discovery.failover import BrokerGroup, FailoverEvent
 
 __all__ = [
     "Ontology",
@@ -40,10 +52,19 @@ __all__ = [
     "Preference",
     "ServiceDescription",
     "ServiceRequest",
+    "EventLog",
+    "RegistryEvent",
+    "apply_event",
     "MatchDegree",
     "MatchResult",
     "SemanticMatcher",
+    "ShardMap",
+    "stable_hash",
     "ServiceRegistry",
     "DistributedBrokerNetwork",
+    "ReplicaRegistry",
+    "ReplicatedRegistry",
     "BrokerAgent",
+    "BrokerGroup",
+    "FailoverEvent",
 ]

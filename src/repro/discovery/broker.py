@@ -52,7 +52,11 @@ class BrokerAgent(Agent):
         self.reply(msg, Performative.INFORM, {"registered": desc.name})
 
     def _handle_unadvertise(self, msg: ACLMessage) -> None:
-        removed = self.registry.withdraw(str(msg.content))
+        name = msg.content
+        if not isinstance(name, str):
+            self.reply(msg, Performative.FAILURE, "expected service name (str)")
+            return
+        removed = self.registry.withdraw(name)
         self.reply(msg, Performative.INFORM, {"removed": removed})
 
     def _handle_query(self, msg: ACLMessage) -> None:

@@ -3,10 +3,18 @@
 "UDDI's present highly centralized model is not appropriate for our
 scenario, but ... a distributed set of brokers could be created." (§3)
 
-:class:`ServiceRegistry` is one broker's store.  :class:`DistributedBrokerNetwork`
+:class:`ServiceRegistry` is one broker's store, and since the
+event-sourcing refactor it is a *materialization of its event log*:
+``advertise``/``withdraw``/``withdraw_host`` append
+:class:`~repro.discovery.log.RegistryEvent` entries and the in-memory
+dict is just the folded state, rebuildable from any log prefix with
+:meth:`ServiceRegistry.rebuild`.  :class:`DistributedBrokerNetwork`
 links several registries into a peering overlay: a query hits the local
 broker first and is forwarded to peers up to a hop limit, merging ranked
-results -- the decentralized alternative to one UDDI node.
+results -- the decentralized alternative to one UDDI node.  The fully
+replicated/sharded store lives in :mod:`repro.discovery.replica`; the
+single-active broker failover protocol in
+:mod:`repro.discovery.failover`.
 """
 
 from __future__ import annotations
@@ -14,7 +22,11 @@ from __future__ import annotations
 import typing
 
 from repro.discovery.description import ServiceDescription, ServiceRequest
+from repro.discovery.log import EventLog, RegistryEvent, apply_event
 from repro.discovery.matcher import MatchResult, SemanticMatcher
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.monitor import Monitor
 
 
 class ServiceRegistry:
@@ -26,24 +38,79 @@ class ServiceRegistry:
         The semantic matcher used for searches.
     name:
         Broker name (diagnostics, peering).
+    log:
+        The event log this registry materializes.  Default: a private
+        log, making the registry behave exactly like the pre-event-sourced
+        version while still being replayable.  A pre-populated log is
+        materialized at construction; *live* fan-out of one log to many
+        consumers is the replica layer's job
+        (:class:`~repro.discovery.replica.ReplicatedRegistry`).
+    monitor:
+        Optional :class:`~repro.simkernel.monitor.Monitor`; when present
+        the registry counts ``disc.advertise`` / ``disc.search`` /
+        ``disc.withdraw`` into the canonical catalog.
     """
 
-    def __init__(self, matcher: SemanticMatcher, name: str = "registry") -> None:
+    def __init__(self, matcher: SemanticMatcher, name: str = "registry",
+                 *, log: EventLog | None = None,
+                 monitor: "Monitor | None" = None) -> None:
         self.matcher = matcher
         self.name = name
+        self.log = log if log is not None else EventLog()
+        self.monitor = monitor
         self._services: dict[str, ServiceDescription] = {}
+        # a pre-populated shared log materializes immediately
+        self.applied_seq = 0
+        for event in self.log.events():
+            self._apply(event)
         self.advertise_count = 0
         self.search_count = 0
+        self.withdraw_count = 0
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _apply(self, event: RegistryEvent) -> int:
+        """Fold one log event into local state; returns withdrawals."""
+        removed = apply_event(self._services, event)
+        self.applied_seq = event.seq
+        return removed
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        if self.monitor is not None and n:
+            self.monitor.counter(counter).add(n)
+
+    @classmethod
+    def rebuild(cls, matcher: SemanticMatcher, log: EventLog,
+                upto_seq: int | None = None, name: str = "rebuilt",
+                ) -> "ServiceRegistry":
+        """A fresh registry deterministically replayed from ``log``.
+
+        Replaying the same prefix always yields byte-identical
+        :meth:`services` listings -- the recovery path after a broker
+        crash, and the property the E13-D benchmark gates on.
+        """
+        registry = cls(matcher, name=name)
+        for event in log.events(upto_seq=upto_seq):
+            registry._apply(event)
+        return registry
 
     # ------------------------------------------------------------------
     def advertise(self, service: ServiceDescription) -> None:
         """Register (or refresh) a service advertisement."""
-        self._services[service.name] = service
+        event = self.log.append_advertise(service,
+                                          refresh=service.name in self._services)
+        self._apply(event)
         self.advertise_count += 1
+        self._count("disc.advertise")
 
     def withdraw(self, service_name: str) -> bool:
         """Remove an advertisement; True if it was present."""
-        return self._services.pop(service_name, None) is not None
+        event = self.log.append_withdraw(service_name)
+        removed = self._apply(event)
+        self.withdraw_count += removed
+        self._count("disc.withdraw", removed)
+        return removed > 0
 
     def withdraw_host(self, host_node: int) -> int:
         """Drop every advertisement from ``host_node`` (its node went down).
@@ -51,10 +118,11 @@ class ServiceRegistry:
         Returns the number withdrawn.  Churn processes call this via
         their ``on_change`` hook.
         """
-        doomed = [n for n, s in self._services.items() if s.host_node == host_node]
-        for name in doomed:
-            del self._services[name]
-        return len(doomed)
+        event = self.log.append_withdraw_host(host_node)
+        removed = self._apply(event)
+        self.withdraw_count += removed
+        self._count("disc.withdraw", removed)
+        return removed
 
     def get(self, service_name: str) -> ServiceDescription | None:
         """Look up one advertisement by name."""
@@ -71,6 +139,7 @@ class ServiceRegistry:
     def search(self, request: ServiceRequest, top_k: int | None = None) -> list[MatchResult]:
         """Ranked semantic matches among local advertisements."""
         self.search_count += 1
+        self._count("disc.search")
         return self.matcher.rank(request, self.services(), top_k=top_k)
 
 
@@ -116,6 +185,17 @@ class DistributedBrokerNetwork:
     def home_of(self, host_node: int | None, assignment: typing.Callable[[int | None], str]) -> ServiceRegistry:
         """Resolve the home broker for a host via an assignment function."""
         return self.registries[assignment(host_node)]
+
+    def withdraw_host(self, host_node: int) -> int:
+        """Withdraw a dead host's services from **every** member broker.
+
+        A service advertised (or cached) at several brokers would
+        otherwise stay reachable through peering after its host died --
+        the federated overlay's version of the stale-registry bug.
+        Returns the total withdrawn across members.
+        """
+        return sum(registry.withdraw_host(host_node)
+                   for registry in self.registries.values())
 
     def search(
         self,

@@ -22,6 +22,16 @@ This module makes their headline numbers persistent and comparable:
   on only one side are reported but never fail the gate (experiments
   come and go; the gate is about the ones both runs measured).
 
+  ``--only PATTERN`` (repeatable) restricts the comparison to metrics
+  whose ``experiment/metric`` name matches a shell-style glob, so a
+  zero-tolerance gate can be applied to the few metrics that must not
+  drift at all without freezing every other number:
+
+  .. code-block:: bash
+
+     python -m repro.observability.bench compare old.json new.json \\
+         --tolerance 0 --only 'E13-D/lost_advertisements'
+
 Results are simulator metrics (deterministic from the seed), never wall
 clock, so a tight tolerance is meaningful across machines.
 """
@@ -30,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import fnmatch
 import hashlib
 import json
 import math
@@ -148,6 +159,19 @@ def load_results(path) -> dict[tuple[str, str, str], BenchResult]:
             raise ValueError(f"{path}: malformed result row {row!r}: {exc}") from exc
         out[result.key] = result
     return out
+
+
+def filter_results(results: typing.Mapping[tuple, BenchResult],
+                   patterns: typing.Sequence[str]) -> dict[tuple, BenchResult]:
+    """Keep results whose ``experiment/metric`` matches any shell-style
+    glob in ``patterns`` (all of them when ``patterns`` is empty).  A
+    pattern with no wildcard is an exact name, so a gate pinned to
+    ``E13-D/lost_advertisements`` never silently widens."""
+    if not patterns:
+        return dict(results)
+    return {key: r for key, r in results.items()
+            if any(fnmatch.fnmatchcase(f"{r.experiment}/{r.metric}", p)
+                   for p in patterns)}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -287,6 +311,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                            metavar="FRAC",
                            help="relative drift allowed per metric "
                                 "(default 0.05 = 5%%)")
+    p_compare.add_argument("--only", action="append", default=[],
+                           metavar="PATTERN",
+                           help="restrict the gate to experiment/metric "
+                                "names matching this glob (repeatable); "
+                                "errors if nothing matches")
     p_show = sub.add_parser("show", help="print one result file as a table")
     p_show.add_argument("path")
     args = parser.parse_args(argv)
@@ -295,8 +324,12 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         if args.command == "show":
             print(render_show(load_results(args.path)))
             return 0
-        report = compare(load_results(args.old), load_results(args.new),
-                         tolerance=args.tolerance)
+        old = filter_results(load_results(args.old), args.only)
+        new = filter_results(load_results(args.new), args.only)
+        if args.only and not (old or new):
+            raise ValueError(
+                f"--only {args.only} matched no metric in either file")
+        report = compare(old, new, tolerance=args.tolerance)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

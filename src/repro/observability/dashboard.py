@@ -119,6 +119,8 @@ _TIMELINE_EVENTS = {
     "slo.resolve": "alert resolve",
     "faults.inject": "fault inject",
     "faults.recover": "fault recover",
+    "disc.broker_down": "BROKER down",
+    "disc.promote": "broker promote",
 }
 
 
@@ -138,7 +140,7 @@ def render_alerts(trace: Trace) -> str:
             detail = ", ".join(f"{k}={v}" for k, v in sorted(ev.attrs.items()))
         rows.append((ev.time_s, label, detail))
     if not rows:
-        return "alert timeline: empty (no slo.* or faults.* transitions)"
+        return "alert timeline: empty (no slo.*, faults.* or disc.* transitions)"
     rows.sort(key=lambda r: r[0])
     lines = ["alert timeline:"]
     for t, label, detail in rows:

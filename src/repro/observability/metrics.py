@@ -96,6 +96,18 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("grid.uplink_transfers", "counter", "1", "WAN transfers started"),
     MetricSpec("grid.uplink_deferred", "counter", "1", "transfers queued through an outage"),
     MetricSpec("grid.queue_wait", "histogram", "s", "job queue waits"),
+    # discovery (the replicated, event-sourced registry + broker group)
+    MetricSpec("disc.advertise", "counter", "1", "advertisements appended (incl. refreshes)"),
+    MetricSpec("disc.search", "counter", "1", "registry searches served"),
+    MetricSpec("disc.withdraw", "counter", "1", "descriptions withdrawn (name or dead host)"),
+    MetricSpec("disc.replay_events", "counter", "1",
+               "log events replayed by catching-up registry views"),
+    MetricSpec("disc.broker_down", "counter", "1", "active-broker losses"),
+    MetricSpec("disc.failover", "counter", "1", "standby promotions completed"),
+    MetricSpec("disc.failover_time", "histogram", "s",
+               "outage length from active loss to standby promotion"),
+    MetricSpec("disc.lookup_latency", "histogram", "s",
+               "client-observed discovery lookup turnaround"),
     # composition
     MetricSpec("composition.completed", "counter", "1", "composite executions that succeeded"),
     MetricSpec("composition.failed", "counter", "1", "composite executions that failed"),

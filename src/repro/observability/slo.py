@@ -483,8 +483,14 @@ def default_slos() -> list[SLO]:
 
     ``grid.uplink_availability`` reads the ``grid.uplink_online`` probe
     that :meth:`repro.core.runtime.PervasiveGridRuntime.attach_slos`
-    registers; without the probe it simply reports no data.
+    registers; without the probe it simply reports no data.  The
+    :func:`discovery_slos` ride along -- they are equally no-data-safe,
+    so worlds without replicated discovery never see them breach.
     """
+    return _grid_slos() + discovery_slos()
+
+
+def _grid_slos() -> list[SLO]:
     return [
         SLO("queries.latency_p95",
             "95th-percentile per-epoch turnaround stays interactive",
@@ -505,6 +511,42 @@ def default_slos() -> list[SLO]:
             "fraction of evaluation ticks the WAN uplink is online",
             Signal("mean", "grid.uplink_online"),
             objective=0.99, comparison=">=", window_s=60.0, severity="page"),
+    ]
+
+
+def discovery_slos() -> list[SLO]:
+    """Objectives over the replicated, event-sourced discovery subsystem.
+
+    ``disc.broker_availability`` and ``disc.staleness`` read the probes
+    :meth:`repro.core.runtime.PervasiveGridRuntime.attach_slos`
+    registers (active-broker liveness and the log tail no promotable
+    broker has served yet); ``disc.lookup_p99`` and
+    ``disc.failover_time`` read the canonical histograms.  During a
+    broker failover the availability objective fires, then resolves
+    once the promoted standby's window of ticks is clean again -- the
+    E13-D benchmark and the disaster drill assert exactly that arc.
+    """
+    return [
+        SLO("disc.lookup_p99",
+            "99th-percentile discovery lookup turnaround",
+            Signal("percentile", "disc.lookup_latency", q=99.0),
+            objective=2.0, comparison="<=", window_s=120.0,
+            severity="warn", unit="s"),
+        SLO("disc.staleness",
+            "log events no promotable broker view has applied yet",
+            Signal("last", "disc.staleness"),
+            objective=25.0, comparison="<=", window_s=60.0,
+            severity="warn"),
+        SLO("disc.failover_time",
+            "worst outage from active-broker loss to standby promotion",
+            Signal("percentile", "disc.failover_time", q=100.0),
+            objective=30.0, comparison="<=", window_s=600.0,
+            severity="warn", unit="s"),
+        SLO("disc.broker_availability",
+            "fraction of evaluation ticks an active broker is serving",
+            Signal("mean", "disc.broker_online"),
+            objective=0.99, comparison=">=", window_s=60.0,
+            severity="page"),
     ]
 
 

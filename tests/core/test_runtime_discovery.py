@@ -1,0 +1,87 @@
+"""Integration tests: replicated discovery + broker failover in the runtime."""
+
+import pytest
+
+from repro.core.runtime import PervasiveGridRuntime
+from repro.discovery import BrokerAgent, ReplicatedRegistry, ServiceDescription
+from repro.faults import NodeCrash
+
+
+def svc(name, host=None, category="TemperatureSensorService"):
+    return ServiceDescription(name=name, category=category, host_node=host)
+
+
+class TestRuntimeReplicatedDiscovery:
+    def test_default_runtime_uses_replicated_registry(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1)
+        assert isinstance(rt.registry, ReplicatedRegistry)
+        assert isinstance(rt.broker, BrokerAgent)
+        assert rt.platform.is_registered("broker")
+        rt.registry.advertise(svc("t0", host=0))
+        assert rt.registry.get("t0") is not None
+        assert rt.registry.log is rt.discovery_log
+
+    def test_fault_withdraws_host_services(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1)
+        injector = rt.fault_injector()
+        rt.registry.advertise(svc("t3", host=3))
+        rt.registry.advertise(svc("t4", host=4))
+        injector.schedule(NodeCrash(node=3, at_s=5.0))
+        rt.sim.run(until=10.0)
+        assert rt.registry.get("t3") is None
+        assert rt.registry.get("t4") is not None
+
+    def test_broker_group_failover_end_to_end(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1, broker_hosts=(0, 1, 2),
+                                  broker_detection_delay_s=2.0)
+        group = rt.broker_group
+        assert group is not None and group.active_id == 0
+        injector = rt.fault_injector()
+        for i in range(6):
+            rt.registry.advertise(svc(f"t{i}", host=3 + i % 2))
+        injector.schedule(NodeCrash(node=0, at_s=5.0))
+        rt.sim.run(until=60.0)
+        assert group.active_id == 1
+        assert group.failovers == 1
+        assert rt.platform.is_registered("broker")
+        # nothing advertised before the crash was lost
+        names = [s.name for s in group.active.view.services()]
+        assert names == [f"t{i}" for i in range(6)]
+
+    def test_crashed_broker_host_also_withdraws_its_services(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1, broker_hosts=(0, 1))
+        injector = rt.fault_injector()
+        rt.registry.advertise(svc("on-broker-host", host=0))
+        rt.registry.advertise(svc("elsewhere", host=5))
+        injector.schedule(NodeCrash(node=0, at_s=1.0))
+        rt.sim.run(until=30.0)
+        assert rt.broker_group.active_id == 1
+        survivors = [s.name for s in rt.broker_group.active.view.services()]
+        assert survivors == ["elsewhere"]
+
+    def test_attach_slos_registers_discovery_probes(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1, broker_hosts=(0, 1))
+        evaluator = rt.attach_slos(until_s=120.0)
+        assert "disc.broker_online" in evaluator._probes
+        assert "disc.staleness" in evaluator._probes
+        rt.sim.run(until=130.0)
+        status = evaluator.status["disc.broker_availability"]
+        assert status.value == pytest.approx(1.0)
+        assert not status.firing
+
+    def test_availability_slo_fires_during_failover_and_resolves(self):
+        rt = PervasiveGridRuntime(n_sensors=9, seed=1, broker_hosts=(0, 1),
+                                  broker_detection_delay_s=40.0)
+        injector = rt.fault_injector()
+        evaluator = rt.attach_slos(interval_s=15.0, until_s=600.0)
+        injector.schedule(NodeCrash(node=0, at_s=50.0))
+        rt.sim.run(until=600.0)
+        assert rt.broker_group.failovers == 1
+        status = evaluator.status["disc.broker_availability"]
+        assert status.fired >= 1
+        assert status.resolved >= 1
+        assert not status.firing
+        phases = [e.phase for e in evaluator.timeline
+                  if e.slo == "disc.broker_availability"]
+        assert phases[0] == "fire"
+        assert phases[-1] == "resolve"

@@ -1,0 +1,130 @@
+"""Unit tests for single-active broker failover over the shared log."""
+
+import pytest
+
+from repro.agents import AgentPlatform
+from repro.discovery import (
+    BrokerAgent,
+    SemanticMatcher,
+    ServiceDescription,
+    build_service_ontology,
+)
+from repro.discovery.failover import BrokerGroup
+from repro.discovery.log import EventLog
+from repro.simkernel import Simulator
+from repro.simkernel.monitor import Monitor
+
+
+def svc(name, category="PrinterService", host=None):
+    return ServiceDescription(name=name, category=category, host_node=host)
+
+
+def make_group(hosts=(10, 11, 12), monitor=None, **kw):
+    sim = Simulator()
+    platform = AgentPlatform(sim)
+    log = EventLog(clock=lambda: sim.now)
+    group = BrokerGroup(sim, platform, log, SemanticMatcher(build_service_ontology()),
+                        hosts, detection_delay_s=2.0, replay_s_per_event=0.01,
+                        monitor=monitor, **kw)
+    return sim, platform, log, group
+
+
+class TestBrokerGroup:
+    def test_validation(self):
+        sim = Simulator()
+        platform = AgentPlatform(sim)
+        m = SemanticMatcher(build_service_ontology())
+        with pytest.raises(ValueError):
+            BrokerGroup(sim, platform, EventLog(), m, hosts=[])
+        with pytest.raises(ValueError):
+            BrokerGroup(sim, platform, EventLog(), m, hosts=[1], detection_delay_s=-1)
+
+    def test_member_zero_starts_active(self):
+        sim, platform, log, group = make_group()
+        assert group.active_id == 0
+        assert group.online()
+        assert platform.is_registered("broker")
+        assert isinstance(group.active_broker(), BrokerAgent)
+        assert group.timeline[0].phase == "activate"
+
+    def test_standby_death_does_not_fail_over(self):
+        sim, platform, log, group = make_group()
+        group.node_down(11)
+        sim.run(until=30)
+        assert group.active_id == 0
+        assert group.failovers == 0
+
+    def test_active_death_promotes_lowest_id_standby(self):
+        mon = Monitor()
+        sim, platform, log, group = make_group(monitor=mon)
+        for i in range(10):
+            log.append_advertise(svc(f"s{i}", host=i))
+        group.node_down(10)
+        assert not group.online()
+        assert not platform.is_registered("broker")
+        sim.run(until=30)
+        assert group.active_id == 1
+        assert group.failovers == 1
+        assert platform.is_registered("broker")
+        phases = [e.phase for e in group.timeline]
+        assert phases == ["activate", "down", "promote"]
+        summary = mon.summary()
+        assert summary["disc.broker_down"] == 1
+        assert summary["disc.failover"] == 1
+        # outage = detection (2 s) + replay (10 events * 0.01 s)
+        assert summary["disc.failover_time.mean"] == pytest.approx(2.1)
+
+    def test_promoted_standby_serves_the_whole_log(self):
+        sim, platform, log, group = make_group()
+        for i in range(20):
+            log.append_advertise(svc(f"s{i}", host=i % 3))
+        log.append_withdraw("s7")
+        group.node_down(10)
+        sim.run(until=30)
+        names = [s.name for s in group.active.view.services()]
+        assert names == sorted(f"s{i}" for i in range(20) if i != 7)
+
+    def test_staleness_during_outage(self):
+        sim, platform, log, group = make_group()
+        assert group.staleness() == 0
+        for i in range(5):
+            log.append_advertise(svc(f"s{i}"))
+        group.node_down(10)
+        # standbys have applied nothing: the whole log is unserved
+        assert group.staleness() == 5
+        sim.run(until=30)
+        assert group.staleness() == 0
+
+    def test_death_mid_replay_moves_to_next_candidate(self):
+        sim, platform, log, group = make_group()
+        for i in range(50):
+            log.append_advertise(svc(f"s{i}"))
+        group.node_down(10)
+        # kill the would-be promotee while it replays (2 s detection +
+        # 0.5 s replay); member 2 must take over instead
+        sim.schedule(2.2, lambda: group.node_down(11))
+        sim.run(until=60)
+        assert group.active_id == 2
+        assert group.failovers == 1
+
+    def test_total_loss_stalls_then_rejoin_recovers(self):
+        sim, platform, log, group = make_group(hosts=(10, 11))
+        log.append_advertise(svc("a"))
+        group.node_down(10)
+        group.node_down(11)
+        sim.run(until=30)
+        assert not group.online()
+        assert group.timeline[-1].phase == "stalled"
+        group.node_up(11)
+        sim.run(until=60)
+        assert group.online()
+        assert group.active_id == 1
+        assert [e.phase for e in group.timeline].count("rejoin") == 1
+        assert [s.name for s in group.active.view.services()] == ["a"]
+
+    def test_wired_member_is_immune_to_node_faults(self):
+        sim, platform, log, group = make_group(hosts=(None, 11))
+        group.node_down(11)
+        sim.run(until=30)
+        assert group.active_id == 0
+        assert group.failovers == 0

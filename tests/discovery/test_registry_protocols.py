@@ -62,6 +62,43 @@ class TestServiceRegistry:
         assert reg.advertise_count == 1
         assert reg.search_count == 1
 
+    def test_withdraw_count(self):
+        reg = make_registry()
+        reg.advertise(svc("a", host=1))
+        reg.advertise(svc("b", host=1))
+        reg.advertise(svc("c", host=2))
+        reg.withdraw("c")
+        reg.withdraw("ghost")  # a miss does not count
+        assert reg.withdraw_count == 1
+        reg.withdraw_host(1)
+        assert reg.withdraw_count == 3
+
+    def test_mutations_land_on_the_log(self):
+        reg = make_registry()
+        reg.advertise(svc("a", host=1))
+        reg.advertise(svc("a", host=1))  # refresh
+        reg.withdraw("a")
+        reg.withdraw_host(1)
+        assert [e.kind for e in reg.log] == [
+            "advertise", "refresh", "withdraw", "withdraw-host"]
+
+    def test_rebuild_from_log_is_identical(self):
+        reg = make_registry()
+        reg.advertise(svc("a", host=1))
+        reg.advertise(svc("b", host=2))
+        reg.withdraw_host(1)
+        rebuilt = ServiceRegistry.rebuild(reg.matcher, reg.log)
+        assert repr(rebuilt.services()) == repr(reg.services())
+        # a prefix replay reconstructs the earlier state
+        halfway = ServiceRegistry.rebuild(reg.matcher, reg.log, upto_seq=2)
+        assert [s.name for s in halfway.services()] == ["a", "b"]
+
+    def test_shared_log_materializes_at_construction(self):
+        reg = make_registry()
+        reg.advertise(svc("a"))
+        twin = ServiceRegistry(reg.matcher, name="twin", log=reg.log)
+        assert [s.name for s in twin.services()] == ["a"]
+
 
 class TestDistributedBrokerNetwork:
     def make_net(self):
@@ -102,6 +139,25 @@ class TestDistributedBrokerNetwork:
         regs = [make_registry("a"), make_registry("b")]
         net = DistributedBrokerNetwork(regs)
         assert net.peers == {"a": ["b"], "b": ["a"]}
+
+    def test_withdraw_host_purges_every_broker(self):
+        # the same service advertised (cached) at several brokers must not
+        # stay reachable through peering after its host dies -- at ANY hop
+        # limit
+        regs = [make_registry(f"b{i}") for i in range(3)]
+        for reg in regs:
+            reg.advertise(svc("doomed", host=9))
+        regs[1].advertise(svc("survivor", host=1))
+        net = DistributedBrokerNetwork(regs, peers={"b0": ["b1"], "b1": ["b2"], "b2": []})
+        assert net.withdraw_host(9) == 3
+        for max_hops in (0, 1, 2, 5):
+            for home in ("b0", "b1", "b2"):
+                results, _ = net.search(ServiceRequest(category="PrinterService"),
+                                        home=home, max_hops=max_hops)
+                assert all(r.service.name != "doomed" for r in results)
+        results, _ = net.search(ServiceRequest(category="PrinterService"),
+                                home="b0", max_hops=2)
+        assert [r.service.name for r in results] == ["survivor"]
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -154,6 +210,18 @@ class TestBrokerAgent:
         sim.run()
         perfs = [m.performative for m in client.replies]
         assert perfs == [Performative.FAILURE, Performative.FAILURE]
+
+    def test_unadvertise_garbage_gets_failure(self):
+        # a non-str payload used to be str()-coerced and answered INFORM;
+        # it must be rejected like every other malformed request
+        sim, platform, broker, client = self.setup_platform()
+        broker.registry.advertise(svc("p1"))
+        client.ask("broker", Performative.UNADVERTISE, 42)
+        client.ask("broker", Performative.UNADVERTISE, svc("p1"))
+        sim.run()
+        perfs = [m.performative for m in client.replies]
+        assert perfs == [Performative.FAILURE, Performative.FAILURE]
+        assert broker.registry.get("p1") is not None  # nothing was removed
 
     def test_top_k_enforced(self):
         sim, platform, broker, client = self.setup_platform()

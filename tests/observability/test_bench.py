@@ -9,6 +9,7 @@ from repro.observability.bench import (
     BenchRecorder,
     BenchResult,
     compare,
+    filter_results,
     load_results,
     main,
     params_hash,
@@ -210,3 +211,57 @@ class TestCli:
         assert main(["show", a]) == 0
         out = capsys.readouterr().out
         assert "E13" in out and "completion" in out
+
+    def test_only_narrows_the_gate_to_matching_metrics(self, tmp_path, capsys):
+        a = self.save(tmp_path, "a.json", self.ROWS)
+        worse = [("E13", "completion", 0.5, "higher"),
+                 ("E2", "tree_mj", 0.73, "lower")]
+        b = self.save(tmp_path, "b.json", worse)
+        # the E13 regression is invisible when the gate only watches E2
+        assert main(["compare", a, b, "--only", "E2/tree_mj"]) == 0
+        assert "E13" not in capsys.readouterr().out
+        assert main(["compare", a, b, "--only", "E13/*"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_only_is_repeatable_and_zero_tolerance_composes(self, tmp_path):
+        a = self.save(tmp_path, "a.json", self.ROWS)
+        drift = [("E13", "completion", 1.0, "higher"),
+                 ("E2", "tree_mj", 0.7301, "lower")]
+        b = self.save(tmp_path, "b.json", drift)
+        # tiny drift passes at the default tolerance, fails a pinned gate
+        assert main(["compare", a, b]) == 0
+        assert main(["compare", a, b, "--tolerance", "0",
+                     "--only", "E2/tree_mj"]) == 1
+        assert main(["compare", a, b, "--tolerance", "0",
+                     "--only", "E13/completion", "--only", "E2/tree_mj"]) == 1
+
+    def test_only_matching_nothing_is_an_error(self, tmp_path, capsys):
+        a = self.save(tmp_path, "a.json", self.ROWS)
+        b = self.save(tmp_path, "b.json", self.ROWS)
+        assert main(["compare", a, b, "--only", "E99/nothing"]) == 2
+        assert "matched no metric" in capsys.readouterr().err
+
+
+class TestFilterResults:
+    def make(self):
+        recorder = BenchRecorder()
+        recorder.record("E13-D", "lost_advertisements", 0.0, direction="lower")
+        recorder.record("E13-D", "lookup_p99", 0.1, direction="lower")
+        recorder.record("E2", "tree_mj", 0.73, direction="lower")
+        return {r.key: r for r in recorder.results}
+
+    def test_empty_patterns_keep_everything(self):
+        results = self.make()
+        assert filter_results(results, []) == results
+
+    def test_exact_name_and_glob(self):
+        results = self.make()
+        exact = filter_results(results, ["E13-D/lost_advertisements"])
+        assert [r.metric for r in exact.values()] == ["lost_advertisements"]
+        globbed = filter_results(results, ["E13-D/*"])
+        assert sorted(r.metric for r in globbed.values()) == [
+            "lookup_p99", "lost_advertisements"]
+
+    def test_no_substring_surprises(self):
+        # an unanchored pattern must not match by substring
+        assert filter_results(self.make(), ["lost"]) == {}
