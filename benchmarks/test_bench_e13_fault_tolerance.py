@@ -52,6 +52,8 @@ from repro.faults import (
     flapping_schedule,
 )
 from repro.network import Topology
+from repro.observability import QueryCostLedger, Trace, Tracer, record_from_dict
+from repro.observability.profiling import HookProfiler
 from repro.parallel import TrialResult, cell_specs, run_trials
 from repro.resilience import BreakerBoard, Hedge, RetryPolicy
 from repro.simkernel import Monitor, RandomStreams, Simulator
@@ -76,12 +78,19 @@ SCHEDULES = ("crash-storm", "blackout", "flapping")
 class FaultWorld:
     """Composition platform whose provider hosts obey a fault schedule."""
 
-    def __init__(self, schedule: str, level: str, seed: int = SEED):
+    def __init__(self, schedule: str, level: str, seed: int = SEED,
+                 trace: bool = False, profile: bool = False):
         self.sim = Simulator()
         self.streams = RandomStreams(seed)
         self.platform = AgentPlatform(self.sim)
         self.registry = ServiceRegistry(SemanticMatcher(build_service_ontology()))
         self.monitor = Monitor()
+        # observability is additive: tracing/profiling never perturb the
+        # deterministic metrics (the replay assertion below runs untraced)
+        self.tracer = Tracer(self.sim) if trace else None
+        self.sim.tracer = self.tracer
+        self.profiler = HookProfiler() if profile else None
+        self.sim.profiler = self.profiler
 
         retries = 0 if level == "none" else 3
         self.breakers = (
@@ -92,7 +101,7 @@ class FaultWorld:
         self.manager = CompositionManager(
             "mgr", self.sim, Binder(self.registry), mode="centralized",
             timeout_s=30.0, max_retries=retries, breakers=self.breakers,
-            monitor=self.monitor,
+            monitor=self.monitor, tracer=self.tracer,
         )
         self.platform.register(self.manager)
         self.platform.register(BrokerAgent("broker", self.registry))
@@ -191,7 +200,8 @@ class FaultWorld:
 
 def run_trial(spec):
     """One (schedule, level) world; runs in a worker process."""
-    world = FaultWorld(spec.params["schedule"], spec.params["level"], seed=spec.seed)
+    world = FaultWorld(spec.params["schedule"], spec.params["level"],
+                       seed=spec.seed, trace=spec.trace, profile=spec.profile)
     results = world.run()
     ok = [latency for r, latency in results if r.success]
     metrics = {
@@ -202,7 +212,8 @@ def run_trial(spec):
         "faults": world.monitor.counters().get("faults.injected", 0.0),
     }
     return TrialResult(monitor=world.monitor, metrics=metrics,
-                       sim_time_s=world.sim.now)
+                       sim_time_s=world.sim.now,
+                       trace=world.tracer, profile=world.profiler)
 
 
 def run_cell(schedule: str, level: str, seed: int = SEED):
@@ -216,7 +227,7 @@ def run_sweep(workers: int = 1):
     specs = cell_specs(
         [{"schedule": schedule, "level": level}
          for schedule in SCHEDULES for level in LEVELS],
-        seed=SEED,
+        seed=SEED, trace=True, profile=True,
     )
     sweep = run_trials(run_trial, specs, workers=workers)
     rows = {
@@ -266,6 +277,23 @@ def test_e13_fault_tolerance(benchmark, table, once, record, workers):
         record("E13", f"p95_s[{schedule}/full]",
                rows[(schedule, "full")]["p95_s"], unit="s", direction="lower",
                seed=SEED, compositions=N_COMPOSITIONS)
+    # cost ledger over the merged trace, folded per composition: the
+    # deterministic latency/status accounting of every pipeline run
+    ledger = QueryCostLedger.from_trace(
+        Trace(map(record_from_dict, sweep.trace)),
+        root_name="composition.execute")
+    summary = ledger.summary()
+    assert summary["queries"] > 0
+    for name in ("queries", "succeeded", "latency_p95_s"):
+        record("E13", f"ledger_{name}", float(summary[name]),
+               direction="either", seed=SEED, compositions=N_COMPOSITIONS)
+
+    # wall-clock headline (record-only, machine-noisy): keyed by worker
+    # count so the zero-tolerance determinism gate never compares it
+    sim_s = sum(o.result.sim_time_s for o in sweep.outcomes if o.result)
+    record("E13", "wall_clock_per_sim_second", sweep.trial_wall_s / sim_s,
+           unit="s/s", direction="either", workers=sweep.workers)
+    assert sweep.profile is not None and sweep.profile["events"] > 0
     if sweep.workers > 1:
         record("E13", "parallel_speedup", sweep.speedup, unit="x",
                direction="higher", workers=sweep.workers)

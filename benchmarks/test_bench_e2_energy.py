@@ -21,6 +21,7 @@ import math
 
 from repro.core import PervasiveGridRuntime, StaticPolicy
 from repro.network import record_route_cache_metrics
+from repro.observability import QueryCostLedger, Trace, record_from_dict
 from repro.parallel import TrialResult, cell_specs, run_trials
 from repro.queries.models import ALL_MODELS
 
@@ -36,7 +37,7 @@ def run_cell(spec):
     model_name = spec.params["model"]
     runtime = PervasiveGridRuntime(
         n_sensors=49, area_m=60.0, seed=spec.seed, policy=StaticPolicy(model_name),
-        grid_resolution=30,
+        grid_resolution=30, trace=spec.trace, profile=spec.profile,
     )
     outcomes = runtime.query(QUERIES[spec.params["qclass"]])
     record_route_cache_metrics(runtime.deployment.topology, runtime.monitor)
@@ -48,14 +49,19 @@ def run_cell(spec):
         steady = sum(o.energy_j for o in good[1:]) / len(good[1:])
     return TrialResult(monitor=runtime.monitor,
                        metrics={"first": first, "steady": steady},
-                       sim_time_s=runtime.sim.now)
+                       sim_time_s=runtime.sim.now,
+                       trace=runtime.tracer if spec.trace else None,
+                       profile=runtime.profiler)
 
 
 def run_sweep(workers: int = 1):
+    # every cell traces (feeds the per-query cost ledger) and profiles
+    # (wall-clock attribution); neither touches the merged monitor, so
+    # the bit-identical-at-any-worker-count contract is unaffected
     specs = cell_specs(
         [{"qclass": qclass, "model": cls.name}
          for qclass in QUERIES for cls in ALL_MODELS],
-        seed=11,
+        seed=11, trace=True, profile=True,
     )
     sweep = run_trials(run_cell, specs, workers=workers)
     results = {
@@ -126,6 +132,22 @@ def test_e2_energy_per_model(benchmark, table, once, record, workers):
     assert hits > 0, "static-topology E2 should serve route queries from cache"
     record("E2", "route_cache_hit_rate", hits / (hits + misses),
            direction="higher", seed=11, n_sensors=49)
+    # per-query cost ledger over the merged trace: deterministic fold, so
+    # these summaries are gated at zero tolerance across worker counts
+    summary = QueryCostLedger.from_trace(
+        Trace(map(record_from_dict, sweep.trace))).summary()
+    assert summary["queries"] > 0 and summary["succeeded"] > 0
+    for name in ("queries", "succeeded", "energy_total_j",
+                 "bytes_on_air_total", "latency_p95_s"):
+        record("E2", f"ledger_{name}", float(summary[name]),
+               direction="either", seed=11, n_sensors=49)
+
+    # wall-clock headline for the E7-XL speed work: record-only (machine-
+    # noisy), keyed by worker count so determinism gates never compare it
+    sim_s = sum(o.result.sim_time_s for o in sweep.outcomes if o.result)
+    record("E2", "wall_clock_per_sim_second", sweep.trial_wall_s / sim_s,
+           unit="s/s", direction="either", workers=sweep.workers)
+    assert sweep.profile is not None and sweep.profile["events"] > 0
     if sweep.workers > 1:
         # wall-clock facts are keyed by worker count so serial baselines
         # never compare against them (determinism gates stay clean)

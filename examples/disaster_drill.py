@@ -30,7 +30,10 @@ The drill closes with the grid health verdict and the alert timeline.
 Run:  python examples/disaster_drill.py
       python examples/disaster_drill.py --trace
       python examples/disaster_drill.py --export drill-trace.jsonl
+      python examples/disaster_drill.py --profile drill-profile.json \
+          --ledger drill-ledger.jsonl
       python -m repro.observability.dashboard drill-trace.jsonl
+      python -m repro.observability.profile drill-profile.json
 """
 
 import argparse
@@ -38,6 +41,7 @@ import argparse
 from repro.discovery import ServiceDescription
 from repro.faults import NodeCrash, UplinkOutage
 from repro.observability.analysis import Trace
+from repro.observability.ledger import QueryCostLedger, render_ledger
 from repro.observability.report import pick_root, render_critical_path, render_rollup
 from repro.observability.slo import render_health
 from repro.workloads import fire_scenario
@@ -62,11 +66,19 @@ def main(argv=None) -> None:
     parser.add_argument("--export", metavar="PATH", default=None,
                         help="write the trace as JSONL to PATH (implies --trace); "
                              "analyze it with python -m repro.observability.report")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="wall-clock-profile the drill and write the export "
+                             "to PATH; analyze it with "
+                             "python -m repro.observability.profile")
+    parser.add_argument("--ledger", metavar="PATH", default=None,
+                        help="write the per-query cost ledger as JSONL to PATH "
+                             "(implies --trace)")
     args = parser.parse_args(argv)
-    tracing = args.trace or args.export is not None
+    tracing = args.trace or args.export is not None or args.ledger is not None
 
     runtime = fire_scenario(n_sensors=49, area_m=60.0, seed=7, n_seats=2,
-                            trace=tracing, broker_hosts=(1, 2, 3),
+                            trace=tracing, profile=args.profile is not None,
+                            broker_hosts=(1, 2, 3),
                             broker_detection_delay_s=25.0)
     injector = runtime.fault_injector()
     base = runtime.deployment.base_station_id
@@ -158,10 +170,20 @@ def main(argv=None) -> None:
             print(render_critical_path(trace, root))
             print()
             print(render_rollup(trace, root))
+        print()
+        print(render_ledger(trace))
         if args.export:
             count = runtime.export_trace(args.export)
             print(f"\nexported {count} trace records to {args.export}")
             print(f"analyze with: python -m repro.observability.report {args.export}")
+        if args.ledger:
+            count = QueryCostLedger.from_trace(trace).export_jsonl(args.ledger)
+            print(f"exported {count} per-query cost records to {args.ledger}")
+
+    if args.profile:
+        count = runtime.export_profile(args.profile)
+        print(f"\nexported wall-clock profile ({count} handlers) to {args.profile}")
+        print(f"analyze with: python -m repro.observability.profile {args.profile}")
 
 
 if __name__ == "__main__":

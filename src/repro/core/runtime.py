@@ -21,6 +21,7 @@ from repro.discovery.ontology import build_service_ontology
 from repro.discovery.replica import ReplicatedRegistry
 from repro.grid.infrastructure import GridInfrastructure
 from repro.network.radio import RadioModel
+from repro.observability.profiling import HookProfiler
 from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.queries.executor import QueryExecutor, QueryOutcome
 from repro.queries.models import ALL_MODELS, QueryContext
@@ -53,6 +54,15 @@ class PervasiveGridRuntime:
         subsystem (simulator, network, executor, grid, faults); export
         it with :meth:`export_trace`.  Default off: the shared no-op
         tracer, which costs nothing on the record path.
+    profile:
+        When True, the runtime owns an enabled
+        :class:`~repro.observability.profiling.HookProfiler` attached to
+        the simulator's dispatch loop, attributing *wall-clock* time per
+        handler and subsystem; export it with :meth:`export_profile`.
+        Default off: ``sim.profiler`` stays ``None`` and the dispatch
+        hot path pays one identity check.  Independent of ``trace`` --
+        profiling never touches the Monitor or the trace, so enabling it
+        cannot perturb simulated results.
     discovery_shards / discovery_replication:
         Shape of the replicated discovery store: consistent-hash shards
         and copies per ontology class (see
@@ -86,6 +96,7 @@ class PervasiveGridRuntime:
         placement: str = "grid",
         noise_std: float = 0.5,
         trace: bool = False,
+        profile: bool = False,
         discovery_shards: int = 4,
         discovery_replication: int = 2,
         broker_hosts: typing.Sequence[int | None] | None = None,
@@ -95,6 +106,8 @@ class PervasiveGridRuntime:
         self.sim = Simulator()
         self.tracer = Tracer(self.sim) if trace else NOOP_TRACER
         self.sim.tracer = self.tracer
+        self.profiler = HookProfiler() if profile else None
+        self.sim.profiler = self.profiler
         self.deployment = SensorDeployment(
             n_sensors,
             area_m,
@@ -249,6 +262,17 @@ class PervasiveGridRuntime:
         if not self.tracer.enabled:
             raise RuntimeError("runtime built without trace=True; nothing to export")
         return self.tracer.export(path)
+
+    def export_profile(self, path) -> int:
+        """Write the run's wall-clock profile as JSON; returns the
+        handler count.
+
+        Raises ``RuntimeError`` unless the runtime was built with
+        ``profile=True``.
+        """
+        if self.profiler is None:
+            raise RuntimeError("runtime built without profile=True; nothing to export")
+        return self.profiler.write(path)
 
     # ------------------------------------------------------------------
     def submit(

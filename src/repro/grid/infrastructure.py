@@ -148,7 +148,14 @@ class GridInfrastructure:
 
                 leg(job.output_bits, after_download)
 
-            self.scheduler.submit(job, after_compute, max_attempts=max_attempts)
+            profiler = self.sim.profiler
+            if profiler is not None and profiler.enabled:
+                # site selection is the grid's wall-clock cost; frame it so
+                # the flamegraph separates scheduling from event dispatch
+                with profiler.frame("grid.schedule", "grid"):
+                    self.scheduler.submit(job, after_compute, max_attempts=max_attempts)
+            else:
+                self.scheduler.submit(job, after_compute, max_attempts=max_attempts)
 
         leg(job.input_bits, after_upload)
 

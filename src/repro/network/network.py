@@ -234,7 +234,14 @@ class WirelessNetwork:
                 on_complete(receipt)
             return
 
-        path = self.topology.shortest_path(current, dst)
+        profiler = self.sim.profiler
+        if profiler is not None and profiler.enabled:
+            # routing is the kernel's expected wall-clock hotspot; give it
+            # its own frame so flamegraphs separate it from dispatch
+            with profiler.frame("net.route", "network"):
+                path = self.topology.shortest_path(current, dst)
+        else:
+            path = self.topology.shortest_path(current, dst)
         if path is None or len(path) < 2:
             self._drop(message, energy_so_far, on_complete, "no-route", span)
             return

@@ -26,7 +26,19 @@ Three layers, all over *simulated* time:
   compare OLD NEW`` is the regression gate.
 * :mod:`~repro.observability.dashboard` -- ``python -m
   repro.observability.dashboard <trace.jsonl>`` renders activity
-  sparklines, SLO status, and the alert timeline from one export.
+  sparklines, SLO status, the alert timeline, and the query cost
+  ledger from one export.
+* :mod:`~repro.observability.profiling` / ``profile`` -- the *wall
+  clock* axis: a :class:`HookProfiler` on the sim kernel's dispatch
+  loop attributing self/cumulative wall time per handler and
+  subsystem (flamegraph collapsed-stack export included), rendered by
+  ``python -m repro.observability.profile`` (top-N hotspots,
+  subsystem rollups, ``--diff OLD NEW``).  Profiles never touch the
+  Monitor, so merged parallel results stay bit-identical.
+* :mod:`~repro.observability.ledger` -- the resource axis:
+  :class:`QueryCostLedger` folds a trace into one record per query
+  (latency, energy, bytes-on-air, hops, uplink/grid usage) for the
+  Decision Maker's training pipeline and the dashboard's cost section.
 
 Wiring: every subsystem accepts a tracer (defaulting to the no-op) and
 :class:`~repro.core.runtime.PervasiveGridRuntime` owns one for the whole
@@ -59,6 +71,14 @@ from repro.observability.metrics import (
     canonical_name,
     canonical_summary,
     rollup_by_subsystem,
+)
+from repro.observability.ledger import QueryCost, QueryCostLedger, render_ledger
+from repro.observability.profiling import (
+    NOOP_PROFILER,
+    HookProfiler,
+    load_profile,
+    merge_profiles,
+    subsystem_wall_rollup,
 )
 from repro.observability.slo import (
     SLO,
@@ -119,6 +139,14 @@ __all__ = [
     "default_slos",
     "breaker_slo",
     "render_health",
+    "HookProfiler",
+    "NOOP_PROFILER",
+    "load_profile",
+    "merge_profiles",
+    "subsystem_wall_rollup",
+    "QueryCost",
+    "QueryCostLedger",
+    "render_ledger",
     "BenchRecorder",
     "BenchResult",
     "CompareReport",

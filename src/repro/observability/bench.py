@@ -326,9 +326,20 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
             return 0
         old = filter_results(load_results(args.old), args.only)
         new = filter_results(load_results(args.new), args.only)
-        if args.only and not (old or new):
-            raise ValueError(
-                f"--only {args.only} matched no metric in either file")
+        if args.only:
+            # a typo'd gate must fail loudly, not pass by matching nothing:
+            # every pattern must hit something, and at least one metric
+            # must exist on BOTH sides (added/removed are never gated)
+            names = {f"{r.experiment}/{r.metric}"
+                     for r in (*old.values(), *new.values())}
+            for pattern in args.only:
+                if not any(fnmatch.fnmatchcase(name, pattern) for name in names):
+                    raise ValueError(
+                        f"--only {pattern!r} matched no metric in either file")
+            if not set(old) & set(new):
+                raise ValueError(
+                    f"--only {args.only} matched no metric present in both "
+                    "files; nothing would be gated")
         report = compare(old, new, tolerance=args.tolerance)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -12,6 +12,10 @@ run after the fact:
 * **alert timeline** -- every ``slo.fire`` / ``slo.resolve`` interleaved
   with ``faults.inject`` / ``faults.recover``, so alerts line up with
   the faults that caused them;
+* **query cost ledger** -- one row per query with its end-to-end
+  latency, energy, bytes-on-air, hops, and uplink/grid usage (the
+  :class:`~repro.observability.ledger.QueryCostLedger` fold of the same
+  trace);
 * **verdict** -- the health verdict reconstructed from the last sample
   of each SLO.
 
@@ -29,6 +33,7 @@ import typing
 
 from repro.observability.analysis import Trace
 from repro.observability.export import read_jsonl
+from repro.observability.ledger import render_ledger
 from repro.observability.tracer import TraceEvent
 from repro.reporting import format_table, sparkline
 
@@ -182,6 +187,7 @@ def render_dashboard(trace: Trace, width: int = 48) -> str:
         render_activity(trace, width=width),
         render_slos(trace),
         render_alerts(trace),
+        render_ledger(trace),
         render_verdict(trace),
     ])
 

@@ -1,0 +1,306 @@
+"""Per-query cost ledger: resource attribution for every run.
+
+The paper's Decision Maker trades handheld energy against latency per
+query; the tracer already follows each query across subsystems (one
+trace id per root span).  This module folds that causality into an
+accounting record: one :class:`QueryCost` per ``query.run`` span,
+attributing **end-to-end latency, energy (J), bytes on air, hops, and
+uplink/grid usage** to the individual query that caused them.  The
+records are exactly the per-query (context, cost) training rows the
+learned-adaptive Decision Maker consumes, and
+:func:`render_ledger` is the dashboard's cost section.
+
+Sources of truth
+----------------
+* the query spans themselves (``query.run`` / ``query.epoch``), which
+  the executor stamps with the measured actuals (``energy_j``,
+  ``data_bits``, ``time_s``) of every outcome;
+* the subtree under each root: ``net.send`` spans (hops, per-message
+  energy), ``net.collect`` spans (in-network message counts),
+  ``grid.uplink`` spans (bits and wall of WAN transfers), and
+  ``grid.offload`` / ``grid.job`` spans (grid usage).
+
+Because the ledger is a pure fold of the trace, it works identically on
+a live tracer, an exported JSONL file, and the merged trace of a
+sharded :class:`~repro.parallel.TrialRunner` sweep -- and it never
+touches the :class:`~repro.simkernel.monitor.Monitor`, so it cannot
+perturb the bit-identical merge invariant.
+
+``root_name`` generalizes the fold: ``"composition.execute"`` ledgers a
+composition workload the same way (latency/status only -- compositions
+carry no radio energy).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import typing
+
+from repro.observability.analysis import Trace
+from repro.observability.tracer import SpanRecord, Tracer
+
+#: Ledger JSONL schema version (stamped on every exported record).
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryCost:
+    """Everything one query cost, end to end.
+
+    Attributes
+    ----------
+    trace_id / span_id:
+        Identity of the root span (stable join key back into the trace).
+    text:
+        The query text (root's ``text`` attr; empty when absent).
+    model:
+        Execution model(s) used; epochs that switched models join with
+        ``+`` (the adaptivity the Decision Maker is paid for).
+    success:
+        Root status was ``ok``.
+    start_s / latency_s:
+        Virtual start time and end-to-end duration of the root span.
+    epochs:
+        Continuous-query epochs under the root (0 for one-shots).
+    energy_j / data_bits:
+        Measured actuals summed over the root's outcomes (the numbers
+        the executor stamped on the query spans).
+    bytes_on_air:
+        ``data_bits / 8`` -- the paper's bytes-on-air axis.
+    messages / hops:
+        Unicast sends under the root and the hops they took, plus
+        in-network collection messages counted by ``net.collect``.
+    uplink_transfers / uplink_bits / uplink_s:
+        WAN uplink usage attributed to this query.
+    grid_offloads / grid_jobs / grid_busy_s:
+        Wired-grid usage attributed to this query.
+    """
+
+    trace_id: int
+    span_id: int
+    text: str
+    model: str
+    success: bool
+    start_s: float
+    latency_s: float
+    epochs: int
+    energy_j: float
+    data_bits: float
+    bytes_on_air: float
+    messages: float
+    hops: float
+    uplink_transfers: int
+    uplink_bits: float
+    uplink_s: float
+    grid_offloads: int
+    grid_jobs: int
+    grid_busy_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ledger JSONL schema)."""
+        out = dataclasses.asdict(self)
+        out["schema"] = SCHEMA_VERSION
+        return out
+
+
+def _float_attr(span: SpanRecord, key: str) -> float:
+    try:
+        return float(span.attrs.get(key, 0.0) or 0.0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _cost_of(trace: Trace, root: SpanRecord) -> QueryCost:
+    """Fold one root span's subtree into a :class:`QueryCost`."""
+    epochs = 0
+    models: list[str] = []
+    energy_j = 0.0
+    data_bits = 0.0
+    messages = 0.0
+    hops = 0.0
+    uplink_transfers = 0
+    uplink_bits = 0.0
+    uplink_s = 0.0
+    grid_offloads = 0
+    grid_jobs = 0
+    grid_busy_s = 0.0
+
+    epoch_like = 0  # spans carrying stamped measured actuals
+    for span in trace.subtree(root):
+        name = span.name
+        if name == "query.epoch":
+            epochs += 1
+        if span is root or name == "query.epoch":
+            if "energy_j" in span.attrs:
+                epoch_like += 1
+                energy_j += _float_attr(span, "energy_j")
+                data_bits += _float_attr(span, "data_bits")
+            model = span.attrs.get("model")
+            if model and (not models or models[-1] != model):
+                models.append(str(model))
+        elif name == "net.send":
+            messages += 1.0
+            hops += _float_attr(span, "hops")
+        elif name == "net.collect":
+            messages += _float_attr(span, "messages")
+        elif name == "grid.uplink":
+            uplink_transfers += 1
+            uplink_bits += _float_attr(span, "bits")
+            uplink_s += span.duration_s
+        elif name == "grid.offload":
+            grid_offloads += 1
+        elif name == "grid.job":
+            grid_jobs += 1
+            grid_busy_s += span.duration_s
+
+    # a one-shot root (epoch_like == 0) carries no stamped actuals only
+    # when it failed before execution; sums stay 0 honestly in that case
+    return QueryCost(
+        trace_id=root.trace_id,
+        span_id=root.span_id,
+        text=str(root.attrs.get("text", "")),
+        model="+".join(models),
+        success=root.status == "ok",
+        start_s=root.start_s,
+        latency_s=root.duration_s,
+        epochs=epochs,
+        energy_j=energy_j,
+        data_bits=data_bits,
+        bytes_on_air=data_bits / 8.0,
+        messages=messages,
+        hops=hops,
+        uplink_transfers=uplink_transfers,
+        uplink_bits=uplink_bits,
+        uplink_s=uplink_s,
+        grid_offloads=grid_offloads,
+        grid_jobs=grid_jobs,
+        grid_busy_s=grid_busy_s,
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile without numpy (nan on empty input)."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))) - 1, 0)
+    return ordered[rank]
+
+
+class QueryCostLedger:
+    """An ordered collection of :class:`QueryCost` records.
+
+    Build one with :meth:`from_trace` (a :class:`Trace`, a raw record
+    iterable, or a live :class:`Tracer`); iterate it, summarize it, or
+    export it as JSONL for the Decision Maker's training pipeline.
+    """
+
+    def __init__(self, records: typing.Sequence[QueryCost] = ()) -> None:
+        self.records: list[QueryCost] = list(records)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, source: Trace | Tracer | typing.Iterable,
+                   root_name: str = "query.run") -> "QueryCostLedger":
+        """Fold every span named ``root_name`` (wherever it sits in the
+        forest -- merged parallel traces nest them under synthesized
+        ``parallel.trial`` roots) into one ledger, in start order."""
+        if isinstance(source, Trace):
+            trace = source
+        elif isinstance(source, Tracer):
+            trace = Trace(source.records)
+        else:
+            trace = Trace(source)
+        roots = [s for s in trace.find(root_name)
+                 if s.name == root_name and s.end_s is not None]
+        return cls([_cost_of(trace, root) for root in roots])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> typing.Iterator[QueryCost]:
+        return iter(self.records)
+
+    def to_dicts(self) -> list[dict]:
+        """All records, JSON-ready (Decision-Maker training rows)."""
+        return [r.to_dict() for r in self.records]
+
+    def export_jsonl(self, path) -> int:
+        """Write one record per line; returns the line count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_dict(), sort_keys=True))
+                fh.write("\n")
+                count += 1
+        return count
+
+    def summary(self) -> dict:
+        """Aggregate costs across the ledger (all plain floats).
+
+        Deterministic for a seeded run -- safe to persist as bench
+        metrics and to compare at zero tolerance across worker counts.
+        Percentiles are nan when no query succeeded.
+        """
+        ok = [r for r in self.records if r.success]
+        latencies = [r.latency_s for r in ok]
+        energies = [r.energy_j for r in ok]
+        return {
+            "queries": len(self.records),
+            "succeeded": len(ok),
+            "success_rate": (len(ok) / len(self.records)) if self.records else math.nan,
+            "latency_p50_s": _percentile(latencies, 50.0),
+            "latency_p95_s": _percentile(latencies, 95.0),
+            "energy_p50_j": _percentile(energies, 50.0),
+            "energy_total_j": sum(r.energy_j for r in self.records),
+            "bytes_on_air_total": sum(r.bytes_on_air for r in self.records),
+            "hops_total": sum(r.hops for r in self.records),
+            "uplink_bits_total": sum(r.uplink_bits for r in self.records),
+            "uplink_s_total": sum(r.uplink_s for r in self.records),
+            "grid_jobs_total": sum(r.grid_jobs for r in self.records),
+            "grid_busy_s_total": sum(r.grid_busy_s for r in self.records),
+            "epochs_total": sum(r.epochs for r in self.records),
+        }
+
+
+def render_ledger(trace: Trace, root_name: str = "query.run",
+                  max_rows: int = 20) -> str:
+    """The ledger as a dashboard section (one row per query + totals)."""
+    from repro.reporting import format_table
+
+    ledger = QueryCostLedger.from_trace(trace, root_name=root_name)
+    if not len(ledger):
+        return (f"query cost ledger: no closed {root_name!r} spans in this "
+                "trace (run with trace=True and submit queries)")
+    rows: list[list] = []
+    for r in ledger.records[:max_rows]:
+        text = r.text if len(r.text) <= 28 else r.text[:25] + "..."
+        rows.append([
+            f"{r.start_s:.6g}", text or f"trace {r.trace_id}",
+            r.model or "-", r.epochs, f"{r.latency_s:.4g}",
+            f"{r.energy_j * 1e3:.4g}", f"{r.bytes_on_air:.4g}",
+            f"{r.hops:.0f}", f"{r.uplink_bits:.4g}", r.grid_jobs,
+            "ok" if r.success else "FAIL",
+        ])
+    dropped = len(ledger) - max_rows
+    lines = [f"query cost ledger ({len(ledger)} queries):"]
+    lines.append(format_table(
+        ["t (s)", "query", "model", "epochs", "latency (s)", "energy (mJ)",
+         "bytes", "hops", "uplink (b)", "jobs", "status"],
+        rows, width=13))
+    if dropped > 0:
+        lines.append(f"  ... {dropped} more queries (see export_jsonl)")
+    s = ledger.summary()
+    lines.append(
+        f"  totals: {s['succeeded']}/{s['queries']} ok, "
+        f"p50 latency {s['latency_p50_s']:.4g} s, "
+        f"p95 {s['latency_p95_s']:.4g} s, "
+        f"energy {s['energy_total_j'] * 1e3:.4g} mJ, "
+        f"{s['bytes_on_air_total']:.4g} bytes on air, "
+        f"{s['hops_total']:.0f} hops, "
+        f"{s['uplink_bits_total']:.4g} uplink bits, "
+        f"{s['grid_jobs_total']:.0f} grid jobs")
+    return "\n".join(lines)

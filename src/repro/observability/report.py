@@ -23,6 +23,7 @@ from repro.observability.analysis import (
     Trace,
     critical_path,
     event_counts,
+    self_times,
     subsystem_rollup,
 )
 from repro.observability.export import read_jsonl
@@ -79,6 +80,27 @@ def render_rollup(trace: Trace, root: SpanRecord) -> str:
     ])
 
 
+def render_self_times(trace: Trace, root: SpanRecord, top: int = 10) -> str:
+    """Top-N span names by flame-graph *self* time under one root.
+
+    The :func:`~repro.observability.analysis.self_times` attribution:
+    each instant of the root's latency is charged to the innermost span
+    covering it, so the full table sums to the root's duration exactly.
+    """
+    per_name = self_times(trace, root)
+    total = max(root.duration_s, 1e-300)
+    ranked = sorted(per_name.items(), key=lambda kv: (-kv[1], kv[0]))
+    rows = [[name, secs, 100.0 * secs / total] for name, secs in ranked[:top]]
+    lines = [f"self times under {root.name!r} (top {min(top, len(ranked))} "
+             f"of {len(ranked)} span names):",
+             format_table(["span", "self (s)", "% of total"], rows, width=18)]
+    if len(ranked) > top:
+        rest = sum(secs for _, secs in ranked[top:])
+        lines.append(f"  ... {len(ranked) - top} more span names "
+                     f"({rest:.6g} s, {100.0 * rest / total:.1f}%)")
+    return "\n".join(lines)
+
+
 def render_events(trace: Trace) -> str:
     """Event-name frequency table for the whole trace."""
     counts = event_counts(trace)
@@ -106,6 +128,7 @@ def report_dict(trace: Trace, root_prefix: str | None = None) -> dict:
         "root": None,
         "critical_path": None,
         "rollup": None,
+        "self_times": None,
         "events": dict(event_counts(trace)),
     }
     if root is not None:
@@ -129,11 +152,21 @@ def report_dict(trace: Trace, root_prefix: str | None = None) -> dict:
             for seg in critical_path(trace, root)
         ]
         doc["rollup"] = [dict(r) for r in subsystem_rollup(trace, root)]
+        doc["self_times"] = [
+            {"name": name, "self_s": secs, "share": secs / total}
+            for name, secs in sorted(self_times(trace, root).items(),
+                                     key=lambda kv: (-kv[1], kv[0]))
+        ]
     return doc
 
 
-def render_report(trace: Trace, root_prefix: str | None = None) -> str:
-    """The full report body (used by the CLI and the examples)."""
+def render_report(trace: Trace, root_prefix: str | None = None,
+                  self_times_top: int = 0) -> str:
+    """The full report body (used by the CLI and the examples).
+
+    ``self_times_top > 0`` appends the top-N self-time table
+    (:func:`render_self_times`) after the rollup.
+    """
     n_traces = len({s.trace_id for s in trace.spans})
     parts = [
         f"trace: {len(trace.spans)} spans, {len(trace.events)} events, "
@@ -148,6 +181,9 @@ def render_report(trace: Trace, root_prefix: str | None = None) -> str:
         parts.append(render_critical_path(trace, root))
         parts.append("")
         parts.append(render_rollup(trace, root))
+        if self_times_top > 0:
+            parts.append("")
+            parts.append(render_self_times(trace, root, top=self_times_top))
     parts.append("")
     parts.append(render_events(trace))
     return "\n".join(parts)
@@ -165,7 +201,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                              "with PREFIX (default: the longest root)")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="output format (json: the report_dict document)")
+    parser.add_argument("--self-times", type=int, default=0, metavar="N",
+                        dest="self_times",
+                        help="also show the top N span names by self time "
+                             "under the selected root (text format; the json "
+                             "document always carries the full self_times key)")
     args = parser.parse_args(argv)
+    if args.self_times < 0:
+        print("error: --self-times must be >= 0", file=sys.stderr)
+        return 2
     try:
         records = read_jsonl(args.trace)
     except (OSError, ValueError) as exc:
@@ -178,7 +222,7 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     if args.format == "json":
         print(json.dumps(report_dict(trace, args.root), indent=2, sort_keys=True))
     else:
-        print(render_report(trace, args.root))
+        print(render_report(trace, args.root, self_times_top=args.self_times))
     return 0
 
 

@@ -7,10 +7,10 @@ reproduction's own experiment harness.  A :class:`TrialRunner` shards
 replicates) across OS processes.  Each world runs a deterministic
 simulation and ships back a :class:`TrialResult` (its
 :class:`~repro.simkernel.monitor.Monitor`, headline metrics, and an
-optional trace export); the parent folds the monitors with
-:meth:`Monitor.merge` in **seed order** (ascending trial index), so the
-merged counters and summaries are bit-identical no matter how many
-workers ran or in what order they finished.
+optional trace and wall-clock-profile exports); the parent folds the
+monitors with :meth:`Monitor.merge` in **seed order** (ascending trial
+index), so the merged counters and summaries are bit-identical no matter
+how many workers ran or in what order they finished.
 
 Determinism contract
 --------------------
@@ -19,8 +19,9 @@ Determinism contract
 because (a) every trial is a pure function of its :class:`TrialSpec`,
 (b) nothing wall-clock-dependent is ever recorded into the merged
 monitor, and (c) reduction order is fixed by trial index.  Wall-clock
-facts (elapsed time, speedup, worker count) live on the
-:class:`SweepResult` itself, never in the monitor.
+facts (elapsed time, speedup, worker count, merged profiles) live on the
+:class:`SweepResult` itself, never in the monitor -- profiling a sweep
+cannot change its merged results.
 
 Trial functions must be module-level callables and specs must be
 picklable (they cross a process boundary).  ``workers <= 1`` runs
@@ -39,6 +40,7 @@ import time
 import traceback
 import typing
 
+from repro.observability.profiling import merge_profiles
 from repro.simkernel.monitor import Monitor
 
 #: Span-id block reserved per trial when merging trace exports; world-local
@@ -61,12 +63,16 @@ class TrialSpec:
     trace:
         Ask the trial to export its tracer records (see
         :attr:`TrialResult.trace`).
+    profile:
+        Ask the trial to wall-clock-profile its dispatch loop (see
+        :attr:`TrialResult.profile`).
     """
 
     index: int
     seed: int = 0
     params: dict = dataclasses.field(default_factory=dict)
     trace: bool = False
+    profile: bool = False
 
 
 @dataclasses.dataclass
@@ -87,12 +93,18 @@ class TrialResult:
     sim_time_s:
         Final virtual time of the world; stamps the synthesized
         ``parallel.trial`` span.
+    profile:
+        Either a :class:`~repro.observability.profiling.HookProfiler`
+        (converted to its export dict before crossing the process
+        boundary) or an already-converted document; merged seed-ordered
+        into :attr:`SweepResult.profile`.
     """
 
     monitor: Monitor | None = None
     metrics: dict = dataclasses.field(default_factory=dict)
     trace: typing.Any = None
     sim_time_s: float = 0.0
+    profile: typing.Any = None
 
 
 @dataclasses.dataclass
@@ -128,6 +140,10 @@ class SweepResult:
     trace: list[dict]
     workers: int
     wall_s: float
+    #: Merged wall-clock profile document (seed-ordered fold of the
+    #: trials' :attr:`TrialResult.profile` exports); None when no trial
+    #: profiled.  Wall-clock data: lives here, never in ``monitor``.
+    profile: dict | None = None
 
     @property
     def trial_wall_s(self) -> float:
@@ -169,6 +185,13 @@ def _normalize_trace(trace: typing.Any) -> list[dict] | None:
     return [r if isinstance(r, dict) else r.to_dict() for r in records]
 
 
+def _normalize_profile(profile: typing.Any) -> dict | None:
+    """HookProfiler -> export dict (runs worker-side, before pickling)."""
+    if profile is None or isinstance(profile, dict):
+        return profile
+    return profile.to_dict()
+
+
 def _run_trial(payload: tuple) -> tuple[int, TrialResult | None, float, str]:
     """Execute one trial (worker side); never raises across the boundary."""
     trial_fn, spec = payload
@@ -179,6 +202,7 @@ def _run_trial(payload: tuple) -> tuple[int, TrialResult | None, float, str]:
             raise TypeError(
                 f"trial function returned {type(result).__name__}, expected TrialResult")
         result.trace = _normalize_trace(result.trace)
+        result.profile = _normalize_profile(result.profile)
         return (spec.index, result, time.perf_counter() - start, "")
     except Exception:  # noqa: BLE001 - the parent decides raise-vs-keep
         return (spec.index, None, time.perf_counter() - start,
@@ -290,6 +314,9 @@ class TrialRunner:
             trace=_merge_trace(outcomes),
             workers=workers,
             wall_s=wall_s,
+            profile=merge_profiles(
+                o.result.profile if o.result is not None else None
+                for o in outcomes),
         )
 
     # ------------------------------------------------------------------
@@ -329,14 +356,17 @@ def run_trials(
 
 
 def seed_specs(seeds: typing.Iterable[int], *, trace: bool = False,
-               **params: typing.Any) -> list[TrialSpec]:
+               profile: bool = False, **params: typing.Any) -> list[TrialSpec]:
     """Specs for a seed sweep: one trial per seed, shared parameters."""
-    return [TrialSpec(index=i, seed=int(seed), params=dict(params), trace=trace)
+    return [TrialSpec(index=i, seed=int(seed), params=dict(params),
+                      trace=trace, profile=profile)
             for i, seed in enumerate(seeds)]
 
 
 def cell_specs(cells: typing.Iterable[typing.Mapping[str, typing.Any]],
-               seed: int = 0, *, trace: bool = False) -> list[TrialSpec]:
+               seed: int = 0, *, trace: bool = False,
+               profile: bool = False) -> list[TrialSpec]:
     """Specs for a parameter grid: one trial per cell dict, shared seed."""
-    return [TrialSpec(index=i, seed=seed, params=dict(cell), trace=trace)
+    return [TrialSpec(index=i, seed=seed, params=dict(cell),
+                      trace=trace, profile=profile)
             for i, cell in enumerate(cells)]

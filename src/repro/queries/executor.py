@@ -18,6 +18,7 @@ import typing
 
 import numpy as np
 
+from repro.observability.profiling import NOOP_PROFILER
 from repro.observability.tracer import NOOP_SPAN, STATUS_ERROR, STATUS_OK
 from repro.queries.ast import Query
 from repro.queries.classifier import QueryClass, classify
@@ -117,7 +118,11 @@ class QueryExecutor:
             def finish(o: QueryOutcome) -> None:
                 outcomes.append(o)
                 if tracer.enabled:
-                    span.set(model=o.model, success=o.success)
+                    # measured actuals, stamped so the QueryCostLedger
+                    # reads authoritative per-query numbers off the span
+                    span.set(model=o.model, success=o.success,
+                             energy_j=o.energy_j, time_s=o.time_s,
+                             data_bits=o.data_bits)
                 span.end(STATUS_OK if o.success else STATUS_ERROR)
                 on_complete(outcomes)
 
@@ -144,7 +149,10 @@ class QueryExecutor:
                     on_epoch(outcome)
                 outcomes.append(outcome)
                 if tracer.enabled:
-                    epoch_span.set(model=outcome.model, success=outcome.success)
+                    epoch_span.set(model=outcome.model, success=outcome.success,
+                                   energy_j=outcome.energy_j,
+                                   time_s=outcome.time_s,
+                                   data_bits=outcome.data_bits)
                 epoch_span.end(STATUS_OK if outcome.success else STATUS_ERROR)
                 if i + 1 >= n_epochs or not self.ctx.deployment.alive_sensor_ids():
                     if tracer.enabled:
@@ -173,6 +181,7 @@ class QueryExecutor:
     ) -> None:
         qclass = classify(query)
         tracer = self.ctx.tracer
+        profiler = self.ctx.sim.profiler or NOOP_PROFILER
         monitor = self.ctx.deployment.monitor
         monitor.counter("queries.epochs").add()
         targets = select_targets(self.ctx.deployment, query, self.ctx.rooms_per_side)
@@ -181,7 +190,8 @@ class QueryExecutor:
             on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
                                      float("nan"), epoch_index, "no targets"))
             return
-        decision = self.decision_maker.decide(query, self.ctx, targets)
+        with profiler.frame("queries.decide", "queries"):
+            decision = self.decision_maker.decide(query, self.ctx, targets)
         if decision is None:
             self._count_failure("no-feasible-model")
             on_complete(QueryOutcome(False, None, "", qclass, 0.0, 0.0, 0.0, 0,
@@ -192,7 +202,8 @@ class QueryExecutor:
                          query_class=qclass.name, targets=len(targets),
                          est_time_s=decision.estimate.time_s,
                          est_energy_j=decision.estimate.energy_j)
-        truth = self._ground_truth(query, targets)
+        with profiler.frame("queries.ground_truth", "queries"):
+            truth = self._ground_truth(query, targets)
         exec_span = NOOP_SPAN
         if tracer.enabled:
             exec_span = tracer.span("query.execute", model=decision.model.name)

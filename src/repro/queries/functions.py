@@ -59,6 +59,15 @@ class PartialAggregate:
         return self.finalize(state)
 
 
+def _merge_std(a, b):
+    """Chan's parallel-variance merge of two (count, mean, M2) records."""
+    na, ma, m2a = a
+    nb, mb, m2b = b
+    n = na + nb
+    delta = mb - ma
+    return (n, ma + delta * nb / n, m2a + m2b + delta * delta * na * nb / n)
+
+
 #: Decomposable aggregates with TAG partial-state records.
 DECOMPOSABLE: dict[str, PartialAggregate] = {
     "MAX": PartialAggregate("MAX", lambda v: v, max, float),
@@ -72,12 +81,14 @@ DECOMPOSABLE: dict[str, PartialAggregate] = {
         lambda s: s[0] / s[1],
         state_size_bits=128.0,
     ),
-    # STD via (sum, sum of squares, count) -- decomposable
+    # STD via (count, mean, M2) -- decomposable; Chan's parallel-variance
+    # merge avoids the cancellation of the naive sum-of-squares form
+    # (whose E[x^2] - mean^2 residue is ~1e-8 even for constant inputs)
     "STD": PartialAggregate(
         "STD",
-        lambda v: (v, v * v, 1.0),
-        lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
-        lambda s: float(np.sqrt(max(s[1] / s[2] - (s[0] / s[2]) ** 2, 0.0))),
+        lambda v: (1.0, v, 0.0),
+        _merge_std,
+        lambda s: float(np.sqrt(max(s[2] / s[0], 0.0))),
         state_size_bits=192.0,
     ),
 }

@@ -48,6 +48,12 @@ class Simulator:
         #: span at ``schedule()`` time and restores it around the
         #: callback, so trace causality follows work across event hops.
         self.tracer = None
+        #: Optional :class:`repro.observability.profiling.HookProfiler`.
+        #: When set (and enabled), every event dispatch is timed in
+        #: *wall clock* and attributed to its handler; the guard below is
+        #: one attribute load + identity check, so the default (``None``)
+        #: keeps the dispatch hot path allocation-free.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # clock
@@ -125,17 +131,25 @@ class Simulator:
             self._now = event.time
             self._events_executed += 1
             callback, event.callback = event.callback, _already_fired
-            tracer = self.tracer
-            if tracer is not None and tracer.enabled:
-                # run under the span current at schedule time (possibly
-                # none), not whatever span the stepping code is inside
-                saved = tracer._activate(event.trace_ctx)
-                try:
+            profiler = self.profiler
+            profiling = profiler is not None and profiler.enabled
+            if profiling:
+                profiler._begin_event(event, callback)
+            try:
+                tracer = self.tracer
+                if tracer is not None and tracer.enabled:
+                    # run under the span current at schedule time (possibly
+                    # none), not whatever span the stepping code is inside
+                    saved = tracer._activate(event.trace_ctx)
+                    try:
+                        callback()
+                    finally:
+                        tracer._deactivate(saved)
+                else:
                     callback()
-                finally:
-                    tracer._deactivate(saved)
-            else:
-                callback()
+            finally:
+                if profiling:
+                    profiler._end_event()
             return True
         return False
 

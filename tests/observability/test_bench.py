@@ -241,6 +241,26 @@ class TestCli:
         assert main(["compare", a, b, "--only", "E99/nothing"]) == 2
         assert "matched no metric" in capsys.readouterr().err
 
+    def test_each_only_pattern_must_match_and_is_named_when_it_does_not(
+            self, tmp_path, capsys):
+        """A fleet of --only patterns fails loudly naming the dead one,
+        even when the other patterns match plenty."""
+        a = self.save(tmp_path, "a.json", self.ROWS)
+        b = self.save(tmp_path, "b.json", self.ROWS)
+        assert main(["compare", a, b, "--only", "E2/*",
+                     "--only", "E99/typo_metric"]) == 2
+        err = capsys.readouterr().err
+        assert "E99/typo_metric" in err and "matched no metric" in err
+
+    def test_only_matching_one_side_only_is_an_error(self, tmp_path, capsys):
+        """A pattern whose metrics exist on only one side gates nothing --
+        that silence is exactly the failure mode the loud check exists for."""
+        a = self.save(tmp_path, "a.json", self.ROWS)
+        b = self.save(tmp_path, "b.json",
+                      [("E7", "fresh_metric", 1.0, "higher")])
+        assert main(["compare", a, b, "--only", "E7/fresh_metric"]) == 2
+        assert "both files" in capsys.readouterr().err
+
 
 class TestFilterResults:
     def make(self):

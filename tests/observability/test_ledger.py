@@ -1,0 +1,195 @@
+"""QueryCostLedger: folding a trace into per-query cost records.
+
+The fold is tested against a hand-built trace whose every number is
+known, then against a real runtime so the executor's stamping and the
+ledger's reading agree on attribute names.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.runtime import PervasiveGridRuntime
+from repro.observability.analysis import Trace
+from repro.observability.ledger import QueryCost, QueryCostLedger, render_ledger
+from repro.observability.tracer import Tracer
+
+
+class FakeSim:
+    """Just a settable virtual clock (all the Tracer needs here)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def build_tracer():
+    """Two queries with known costs.
+
+    Query 1 (t=10..16, ok): two epochs -- epoch 1 runs the tree model
+    in-network (1 send over 3 hops, a 48-message collection, 0.5 J /
+    800 bits); epoch 2 switches to the grid (uplink of 4000 bits for
+    1 s, one job busy for 2 s, 0.25 J / 200 bits).
+    Query 2 (t=20..21, FAIL): no stamped actuals.
+    """
+    sim = FakeSim()
+    tracer = Tracer(sim)
+
+    sim.now = 10.0
+    root = tracer.span("query.run", text="SELECT AVG(value) FROM sensors")
+    with tracer.use(root):
+        e1 = tracer.span("query.epoch")
+        with tracer.use(e1):
+            send = tracer.span("net.send", hops=3)
+            sim.now = 11.0
+            send.end()
+            coll = tracer.span("net.collect", messages=48)
+            sim.now = 12.0
+            coll.end()
+        e1.set(model="tree", energy_j=0.5, data_bits=800.0)
+        e1.end()
+        e2 = tracer.span("query.epoch")
+        with tracer.use(e2):
+            off = tracer.span("grid.offload")
+            with tracer.use(off):
+                up = tracer.span("grid.uplink", bits=4000.0)
+                sim.now = 13.0
+                up.end()
+                job = tracer.span("grid.job")
+                sim.now = 15.0
+                job.end()
+            off.end()
+        e2.set(model="grid", energy_j=0.25, data_bits=200.0)
+        e2.end()
+    sim.now = 16.0
+    root.end()
+
+    sim.now = 20.0
+    failed = tracer.span("query.run", text="SELECT BROKEN FROM sensors")
+    sim.now = 21.0
+    failed.end(status="error")
+    return tracer
+
+
+class TestFold:
+    def ledger(self):
+        return QueryCostLedger.from_trace(build_tracer())
+
+    def test_every_axis_of_the_first_query(self):
+        cost = self.ledger().records[0]
+        assert isinstance(cost, QueryCost)
+        assert cost.text == "SELECT AVG(value) FROM sensors"
+        assert cost.success and cost.start_s == 10.0 and cost.latency_s == 6.0
+        assert cost.epochs == 2
+        # the adaptivity record: consecutive distinct models join with '+'
+        assert cost.model == "tree+grid"
+        assert cost.energy_j == pytest.approx(0.75)
+        assert cost.data_bits == pytest.approx(1000.0)
+        assert cost.bytes_on_air == pytest.approx(125.0)
+        assert cost.messages == pytest.approx(49.0)  # 1 send + 48 collected
+        assert cost.hops == pytest.approx(3.0)
+        assert cost.uplink_transfers == 1
+        assert cost.uplink_bits == pytest.approx(4000.0)
+        assert cost.uplink_s == pytest.approx(1.0)
+        assert cost.grid_offloads == 1 and cost.grid_jobs == 1
+        assert cost.grid_busy_s == pytest.approx(2.0)
+
+    def test_failed_query_is_ledgered_honestly(self):
+        cost = self.ledger().records[1]
+        assert not cost.success
+        assert cost.latency_s == 1.0 and cost.epochs == 0
+        assert cost.energy_j == 0.0 and cost.messages == 0.0
+
+    def test_unclosed_and_prefix_named_roots_are_excluded(self):
+        sim = FakeSim()
+        tracer = Tracer(sim)
+        tracer.span("query.run")            # never ended
+        other = tracer.span("query.runway")  # startswith, not equal
+        other.end()
+        assert len(QueryCostLedger.from_trace(tracer)) == 0
+
+    def test_from_trace_accepts_trace_and_tracer(self):
+        tracer = build_tracer()
+        via_tracer = QueryCostLedger.from_trace(tracer)
+        via_trace = QueryCostLedger.from_trace(Trace(tracer.records))
+        assert via_tracer.to_dicts() == via_trace.to_dicts()
+
+    def test_composition_root_name(self):
+        sim = FakeSim()
+        tracer = Tracer(sim)
+        comp = tracer.span("composition.execute", comp_id="c1")
+        sim.now = 4.0
+        comp.end()
+        ledger = QueryCostLedger.from_trace(tracer,
+                                            root_name="composition.execute")
+        assert len(ledger) == 1
+        assert ledger.records[0].latency_s == 4.0
+
+
+class TestSummaryAndExport:
+    def test_summary_totals_and_percentiles(self):
+        s = QueryCostLedger.from_trace(build_tracer()).summary()
+        assert s["queries"] == 2 and s["succeeded"] == 1
+        assert s["success_rate"] == pytest.approx(0.5)
+        # percentiles are over successes only
+        assert s["latency_p50_s"] == s["latency_p95_s"] == pytest.approx(6.0)
+        assert s["energy_total_j"] == pytest.approx(0.75)
+        assert s["bytes_on_air_total"] == pytest.approx(125.0)
+        assert s["hops_total"] == pytest.approx(3.0)
+        assert s["uplink_bits_total"] == pytest.approx(4000.0)
+        assert s["grid_jobs_total"] == 1
+        assert s["epochs_total"] == 2
+
+    def test_empty_ledger_summary_is_nan_not_crash(self):
+        s = QueryCostLedger().summary()
+        assert s["queries"] == 0
+        assert math.isnan(s["success_rate"]) and math.isnan(s["latency_p95_s"])
+        assert s["energy_total_j"] == 0.0
+
+    def test_export_jsonl_round_trip(self, tmp_path):
+        ledger = QueryCostLedger.from_trace(build_tracer())
+        path = tmp_path / "ledger.jsonl"
+        assert ledger.export_jsonl(path) == 2
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows == [json.loads(json.dumps(d, sort_keys=True))
+                        for d in ledger.to_dicts()]
+        assert all(r["schema"] == 1 for r in rows)
+        assert rows[0]["model"] == "tree+grid"
+
+
+class TestRender:
+    def test_render_shows_rows_and_totals(self):
+        text = render_ledger(Trace(build_tracer().records))
+        assert "query cost ledger (2 queries)" in text
+        assert "tree+grid" in text and "FAIL" in text
+        assert "totals: 1/2 ok" in text
+
+    def test_render_empty_trace_is_graceful(self):
+        text = render_ledger(Trace([]))
+        assert "no closed 'query.run' spans" in text
+
+    def test_render_caps_rows_and_reports_the_drop(self):
+        sim = FakeSim()
+        tracer = Tracer(sim)
+        for i in range(5):
+            sim.now = float(i)
+            span = tracer.span("query.run", text=f"q{i}")
+            sim.now = float(i) + 0.5
+            span.end()
+        text = render_ledger(Trace(tracer.records), max_rows=3)
+        assert "... 2 more queries" in text
+
+
+class TestRealRuntimeAgreement:
+    def test_executor_stamps_what_the_ledger_reads(self):
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=5, trace=True)
+        outcomes = rt.query("SELECT AVG(temperature) FROM sensors")
+        ledger = QueryCostLedger.from_trace(rt.tracer)
+        assert len(ledger) == 1
+        cost = ledger.records[0]
+        ok = [o for o in outcomes if o.success]
+        assert cost.success == bool(ok)
+        assert cost.energy_j == pytest.approx(sum(o.energy_j for o in ok))
+        assert cost.model == "+".join(
+            dict.fromkeys(o.model for o in ok))  # order-preserving
+        assert cost.messages > 0

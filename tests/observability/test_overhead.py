@@ -1,13 +1,17 @@
-"""Satellite: disabled tracing must be free.
+"""Satellite: disabled tracing (and disabled profiling) must be free.
 
-Two claims, both load-bearing for leaving the instrumentation wired into
+Claims, all load-bearing for leaving the instrumentation wired into
 every subsystem by default:
 
 * the disabled record path retains **zero allocations** -- recording into
   a no-op tracer leaves the process's allocated-block count unchanged;
 * the disabled instrumentation adds **< 5% wall-clock** to an E3-style
   response-time run, bounded by (record sites exercised) x (cost of one
-  no-op record call), both measured here rather than assumed.
+  no-op record call), both measured here rather than assumed;
+* the same two proofs for the profiler: the dispatch loop with
+  ``sim.profiler`` left at ``None`` (or disabled) retains nothing, and
+  an *enabled* profiler's per-dispatch cost stays under 5% of an
+  E3-style run.
 """
 
 import gc
@@ -17,6 +21,7 @@ import time
 import pytest
 
 from repro.core.runtime import PervasiveGridRuntime
+from repro.observability.profiling import NOOP_FRAME, NOOP_PROFILER, HookProfiler
 from repro.observability.tracer import NOOP_SPAN, NOOP_TRACER, Tracer
 from repro.queries.models import GridOffloadModel
 from repro.simkernel import Simulator
@@ -70,6 +75,58 @@ class TestZeroAllocation:
             rt.export_trace("/dev/null")
 
 
+def frame_path(profiler, n: int) -> None:
+    """The disabled frame path exactly as instrumentation sites write it."""
+    for _ in range(n):
+        prof = profiler or NOOP_PROFILER
+        with prof.frame("net.route", "network"):
+            pass
+
+
+def dispatch_cycle(sim, n: int) -> None:
+    """Schedule-and-run n events through the (possibly hooked) loop."""
+    for i in range(n):
+        sim.schedule(float(i), noop_callback, label="tick:1")
+    sim.run()
+
+
+def noop_callback() -> None:
+    pass
+
+
+class TestProfilerZeroCost:
+    def retained(self, fn) -> list:
+        fn()  # warm up caches, bytecode specialization
+        gc.collect()
+        fn()  # repopulate freelists the collect drained
+        deltas = []
+        for _ in range(5):
+            before = sys.getallocatedblocks()
+            fn()
+            deltas.append(sys.getallocatedblocks() - before)
+        return deltas[-3:]
+
+    def test_disabled_frame_path_retains_nothing(self):
+        assert self.retained(lambda: frame_path(None, 1000)) == [0, 0, 0]
+        disabled = HookProfiler(enabled=False)
+        assert self.retained(lambda: frame_path(disabled, 1000)) == [0, 0, 0]
+        assert len(disabled) == 0
+
+    def test_unhooked_dispatch_loop_retains_nothing(self):
+        sim = Simulator()
+        assert sim.profiler is None
+        assert self.retained(lambda: dispatch_cycle(sim, 500)) == [0, 0, 0]
+
+    def test_disabled_profiler_on_the_loop_retains_nothing(self):
+        sim = Simulator()
+        sim.profiler = HookProfiler(enabled=False)
+        assert self.retained(lambda: dispatch_cycle(sim, 500)) == [0, 0, 0]
+        assert sim.profiler.events == 0
+
+    def test_noop_frame_is_shared(self):
+        assert NOOP_PROFILER.frame("a.b") is NOOP_FRAME
+
+
 class TestWallClockOverhead:
     def test_disabled_instrumentation_under_five_percent_of_e3(self):
         def run_e3(trace: bool):
@@ -103,6 +160,43 @@ class TestWallClockOverhead:
             f"disabled tracing would cost {overhead * 1e3:.3f} ms on a "
             f"{baseline * 1e3:.1f} ms E3 run "
             f"({n_sites} sites x {per_call * 1e9:.0f} ns)")
+
+    def test_profiling_overhead_under_five_percent_of_e3(self):
+        """Analytic bound for the *enabled* profiler: the run's dispatch
+        count times the measured per-dispatch hook cost stays under 5%."""
+        def run_e3(profile: bool):
+            rt = PervasiveGridRuntime(n_sensors=25, area_m=40.0, seed=3,
+                                      profile=profile,
+                                      models=[GridOffloadModel()])
+            start = time.perf_counter()
+            for text in E3_QUERIES:
+                rt.query(text)
+            return time.perf_counter() - start, rt
+
+        _, profiled = run_e3(profile=True)
+        n_events = profiled.profiler.events
+        assert n_events > 0
+
+        # amortized cost of one begin/end dispatch hook on a live profiler
+        class Evt:
+            label = "tick:1"
+
+        profiler, evt, reps = HookProfiler(), Evt(), 20_000
+        for _ in range(200):  # warm the memo caches
+            profiler._begin_event(evt, run_e3)
+            profiler._end_event()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            profiler._begin_event(evt, run_e3)
+            profiler._end_event()
+        per_event = (time.perf_counter() - t0) / reps
+
+        baseline = sorted(run_e3(profile=False)[0] for _ in range(3))[1]
+        overhead = n_events * per_event
+        assert overhead < 0.05 * baseline, (
+            f"enabled profiling would cost {overhead * 1e3:.3f} ms on a "
+            f"{baseline * 1e3:.1f} ms E3 run "
+            f"({n_events} dispatches x {per_event * 1e9:.0f} ns)")
 
     def test_tracing_does_not_change_simulation_results(self):
         """Determinism guard: the traced run computes the same answers in
