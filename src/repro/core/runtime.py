@@ -22,6 +22,8 @@ from repro.discovery.replica import ReplicatedRegistry
 from repro.grid.infrastructure import GridInfrastructure
 from repro.network.radio import RadioModel
 from repro.observability.profiling import HookProfiler
+from repro.observability.sampling import SamplingConfig, TraceSampler
+from repro.observability.sketch import TelemetryConfig
 from repro.observability.tracer import NOOP_TRACER, Tracer
 from repro.queries.executor import QueryExecutor, QueryOutcome
 from repro.queries.models import ALL_MODELS, QueryContext
@@ -63,6 +65,20 @@ class PervasiveGridRuntime:
         hot path pays one identity check.  Independent of ``trace`` --
         profiling never touches the Monitor or the trace, so enabling it
         cannot perturb simulated results.
+    sampling:
+        Optional :class:`~repro.observability.sampling.SamplingConfig`
+        (requires ``trace=True``): the tracer retains traces through a
+        deterministic head/tail :class:`TraceSampler` instead of keeping
+        everything -- error, SLO-violating, and slow-outlier traces are
+        always kept, happy-path volume is sampled.  Dropped volume is
+        visible under the ``obs.sampling.*`` counters and the trace's
+        ``obs.sampling.summary`` event.
+    telemetry:
+        Optional :class:`~repro.observability.sketch.TelemetryConfig`
+        bounding the run's telemetry memory: the monitor's
+        histogram/series raw tails and sketch shape
+        (:meth:`~repro.simkernel.monitor.Monitor.configure`) and the
+        tracer's ``max_records`` ring.
     discovery_shards / discovery_replication:
         Shape of the replicated discovery store: consistent-hash shards
         and copies per ontology class (see
@@ -97,14 +113,24 @@ class PervasiveGridRuntime:
         noise_std: float = 0.5,
         trace: bool = False,
         profile: bool = False,
+        sampling: "SamplingConfig | None" = None,
+        telemetry: "TelemetryConfig | None" = None,
         discovery_shards: int = 4,
         discovery_replication: int = 2,
         broker_hosts: typing.Sequence[int | None] | None = None,
         broker_detection_delay_s: float = 2.0,
     ) -> None:
+        if sampling is not None and not trace:
+            raise ValueError("sampling= requires trace=True")
         self.streams = RandomStreams(seed)
         self.sim = Simulator()
-        self.tracer = Tracer(self.sim) if trace else NOOP_TRACER
+        if trace:
+            sampler = TraceSampler(sampling) if sampling is not None else None
+            max_records = telemetry.max_trace_records if telemetry is not None else None
+            self.tracer = Tracer(self.sim, sampler=sampler,
+                                 max_records=max_records)
+        else:
+            self.tracer = NOOP_TRACER
         self.sim.tracer = self.tracer
         self.profiler = HookProfiler() if profile else None
         self.sim.profiler = self.profiler
@@ -121,6 +147,11 @@ class PervasiveGridRuntime:
             noise_std=noise_std,
         )
         self.deployment.network.tracer = self.tracer
+        if telemetry is not None:
+            self.deployment.monitor.configure(telemetry)
+        if trace:
+            # obs.trace.* / obs.sampling.* counters land on the run's monitor
+            self.tracer.monitor = self.deployment.monitor
         self.grid = GridInfrastructure(self.sim, site_rates=site_rates,
                                        monitor=self.deployment.monitor,
                                        tracer=self.tracer)

@@ -35,6 +35,13 @@ Three layers, all over *simulated* time:
   ``python -m repro.observability.profile`` (top-N hotspots,
   subsystem rollups, ``--diff OLD NEW``).  Profiles never touch the
   Monitor, so merged parallel results stay bit-identical.
+* :mod:`~repro.observability.sketch` / ``sampling`` -- the memory
+  axis: mergeable :class:`QuantileSketch` (DDSketch-style relative-error
+  buckets) and multi-resolution ring-buffer series bound the Monitor's
+  footprint (:class:`TelemetryConfig`), while the :class:`TraceSampler`
+  (head + tail-based + seeded exemplars, :class:`SamplingConfig`) bounds
+  the trace -- always keeping error/alert/slow-outlier traces -- without
+  breaking the parallel runner's bit-identical reduction.
 * :mod:`~repro.observability.ledger` -- the resource axis:
   :class:`QueryCostLedger` folds a trace into one record per query
   (latency, energy, bytes-on-air, hops, uplink/grid usage) for the
@@ -73,6 +80,12 @@ from repro.observability.metrics import (
     rollup_by_subsystem,
 )
 from repro.observability.ledger import QueryCost, QueryCostLedger, render_ledger
+from repro.observability.sketch import (
+    MultiResolutionSeries,
+    QuantileSketch,
+    TelemetryConfig,
+)
+from repro.observability.sampling import SamplingConfig, TraceSampler
 from repro.observability.profiling import (
     NOOP_PROFILER,
     HookProfiler,
@@ -147,6 +160,11 @@ __all__ = [
     "QueryCost",
     "QueryCostLedger",
     "render_ledger",
+    "QuantileSketch",
+    "MultiResolutionSeries",
+    "TelemetryConfig",
+    "SamplingConfig",
+    "TraceSampler",
     "BenchRecorder",
     "BenchResult",
     "CompareReport",

@@ -16,6 +16,9 @@ run after the fact:
   latency, energy, bytes-on-air, hops, and uplink/grid usage (the
   :class:`~repro.observability.ledger.QueryCostLedger` fold of the same
   trace);
+* **sampling** -- retained-vs-emitted trace/span counts and keep
+  reasons from ``obs.sampling.summary`` events (exhaustive runs say
+  so);
 * **verdict** -- the health verdict reconstructed from the last sample
   of each SLO.
 
@@ -153,6 +156,46 @@ def render_alerts(trace: Trace) -> str:
     return "\n".join(lines)
 
 
+def render_sampling(trace: Trace) -> str:
+    """Trace-sampling summary from ``obs.sampling.summary`` events.
+
+    Merged parallel traces carry one summary per trial world; the counts
+    aggregate (they are disjoint per-world tallies).
+    """
+    summaries = [ev for ev in trace.events if ev.name == "obs.sampling.summary"]
+    if not summaries:
+        return ("sampling: exhaustive (no obs.sampling.summary events -- "
+                "run with a TraceSampler to bound trace memory)")
+    totals: dict[str, float] = {}
+    for ev in summaries:
+        for key, value in ev.attrs.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] = totals.get(key, 0) + value
+    emitted = int(totals.get("traces_emitted", 0))
+    retained = int(totals.get("traces_retained", 0))
+    frac = retained / emitted if emitted else math.nan
+    lines = [
+        f"sampling: {retained}/{emitted} traces retained ({frac:.1%})"
+        if emitted else "sampling: on (no traces emitted)",
+    ]
+    rows = [
+        ["traces", int(totals.get("traces_emitted", 0)),
+         int(totals.get("traces_retained", 0)),
+         int(totals.get("traces_dropped", 0))],
+        ["spans", int(totals.get("spans_emitted", 0)),
+         int(totals.get("spans_retained", 0)),
+         int(totals.get("spans_dropped", 0))],
+    ]
+    lines.append(format_table(["kind", "emitted", "retained", "dropped"],
+                              rows, width=10))
+    lines.append(
+        f"  kept: head={int(totals.get('head_kept', 0))}  "
+        f"tail={int(totals.get('tail_kept', 0))}  "
+        f"exemplar={int(totals.get('exemplars_kept', 0))}  "
+        f"budget-deferred={int(totals.get('budget_deferred', 0))}")
+    return "\n".join(lines)
+
+
 def render_verdict(trace: Trace) -> str:
     """Health verdict reconstructed from each SLO's final sample."""
     grouped = _slo_samples(trace)
@@ -188,6 +231,7 @@ def render_dashboard(trace: Trace, width: int = 48) -> str:
         render_slos(trace),
         render_alerts(trace),
         render_ledger(trace),
+        render_sampling(trace),
         render_verdict(trace),
     ])
 

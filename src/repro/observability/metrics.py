@@ -129,6 +129,29 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("slo.alerts_fired", "counter", "1", "SLO alerts transitioned to firing"),
     MetricSpec("slo.alerts_resolved", "counter", "1", "SLO alerts resolved"),
     MetricSpec("slo.breached", "series", "1", "concurrently-firing SLOs over time"),
+    # obs (telemetry watching itself: bounded tracing + trace sampling)
+    MetricSpec("obs.trace.dropped", "counter", "1",
+               "trace records evicted by the max_records ring"),
+    MetricSpec("obs.sampling.traces_emitted", "counter", "1",
+               "root spans (traces) started"),
+    MetricSpec("obs.sampling.traces_retained", "counter", "1",
+               "traces retained (head, tail, or exemplar)"),
+    MetricSpec("obs.sampling.traces_dropped", "counter", "1",
+               "traces dropped after tail inspection"),
+    MetricSpec("obs.sampling.spans_emitted", "counter", "1",
+               "span records offered to the sampler"),
+    MetricSpec("obs.sampling.spans_retained", "counter", "1",
+               "span records retained after sampling"),
+    MetricSpec("obs.sampling.spans_dropped", "counter", "1",
+               "span records dropped by sampling"),
+    MetricSpec("obs.sampling.head_kept", "counter", "1",
+               "traces kept by deterministic head sampling"),
+    MetricSpec("obs.sampling.tail_kept", "counter", "1",
+               "traces kept by tail rules (error / SLO alert / slow outlier)"),
+    MetricSpec("obs.sampling.exemplars_kept", "counter", "1",
+               "happy-path traces kept by the seeded exemplar reservoir"),
+    MetricSpec("obs.sampling.budget_deferred", "counter", "1",
+               "head keeps deferred to tail rules by the span budget"),
 ])
 
 #: Legacy monitor keys -> canonical names.
@@ -149,7 +172,8 @@ def canonical_name(name: str) -> str:
     """
     if name in ALIASES:
         return ALIASES[name]
-    for suffix in (".increments", ".mean", ".total", ".max"):
+    for suffix in (".increments", ".count", ".mean", ".p50", ".p95", ".p99",
+                   ".total", ".max"):
         if name.endswith(suffix):
             base = name[: -len(suffix)]
             if base in ALIASES:

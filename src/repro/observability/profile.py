@@ -139,6 +139,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
     try:
         if args.diff is not None:
             old, new = (load_profile(p) for p in args.diff)
+            old_names = {r["name"] for r in old.get("handlers", [])}
+            new_names = {r["name"] for r in new.get("handlers", [])}
+            if not old_names & new_names:
+                # disjoint handler sets: nothing to match by name, so a
+                # rendered diff would be an empty (misleading) table
+                print("error: profiles share no handler names "
+                      "(are these the same workload?)", file=sys.stderr)
+                return 2
             print(render_diff(old, new, top=args.top))
         else:
             doc = load_profile(args.profile)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import itertools
 import math
 import typing
 
@@ -201,28 +202,39 @@ class GridHealth:
 
 
 class _SourceWindow:
-    """Timestamped samples for one signal source, pruned to ``keep_s``."""
+    """Timestamped entries for one signal source, pruned to ``keep_s``.
+
+    Each entry is ``(t, total, count, last, sketch)``: a plain sample is
+    ``(t, v, 1, v, None)``; high-volume instrument data arrives as one
+    *aggregate* entry per evaluation tick carrying the interval's sum,
+    count, last value, and a delta :class:`QuantileSketch`, so window
+    memory is bounded by tick count, not observation count.
+    """
 
     __slots__ = ("keep_s", "samples")
 
     def __init__(self, keep_s: float) -> None:
         self.keep_s = keep_s
-        self.samples: collections.deque[tuple[float, float]] = collections.deque()
+        self.samples: collections.deque[tuple] = collections.deque()
 
     def append(self, time_s: float, value: float) -> None:
-        self.samples.append((time_s, value))
+        self.samples.append((time_s, value, 1, value, None))
+
+    def append_aggregate(self, time_s: float, total: float, count: int,
+                         last: float, sketch) -> None:
+        self.samples.append((time_s, total, count, last, sketch))
 
     def prune(self, now: float) -> None:
         cutoff = now - self.keep_s
         while self.samples and self.samples[0][0] < cutoff:
             self.samples.popleft()
 
-    def since(self, cutoff: float) -> list[float]:
-        """Sample values with ``t >= cutoff`` (window membership)."""
-        return [v for t, v in self.samples if t >= cutoff]
+    def since(self, cutoff: float) -> list[tuple]:
+        """Entries with ``t >= cutoff`` (window membership)."""
+        return [e for e in self.samples if e[0] >= cutoff]
 
     def last(self) -> float | None:
-        return self.samples[-1][1] if self.samples else None
+        return self.samples[-1][3] if self.samples else None
 
 
 class SLOEvaluator:
@@ -297,6 +309,10 @@ class SLOEvaluator:
         self._counter_cursor: dict[str, float] = {}
         self._hist_cursor: dict[str, int] = {}
         self._series_cursor: dict[str, int] = {}
+        # per-source (count, sketch copy, sum) snapshot from the last
+        # tick, so a tick that outran the instrument's raw tail can
+        # ingest an exact delta sketch instead of the lost raw values
+        self._sketch_snapshots: dict[str, tuple[int, typing.Any, float]] = {}
         self._until: float | None = None
 
     # ------------------------------------------------------------------
@@ -338,22 +354,60 @@ class SLOEvaluator:
         counter = counters.get(source)
         return counter.value if counter is not None else 0.0
 
+    def _ingest_bounded(self, window: _SourceWindow, source: str, inst,
+                        cursor: dict[str, int], now: float,
+                        times: bool) -> None:
+        """Pull new data from a histogram/series without unbounded reads.
+
+        While every new observation is still in the instrument's exact
+        raw tail, ingest per-sample entries (``times=True`` keeps the
+        series' own sample timestamps) -- identical to the historical
+        raw-list behavior.  When recording outran the tail between
+        ticks, ingest *one* aggregate entry instead: the interval's
+        exact sum/count plus a delta sketch diffed against last tick's
+        snapshot, so percentile signals stay within the sketch's error
+        bound at any volume.
+        """
+        inst.ensure_sketch()
+        total = len(inst)
+        seen = cursor.get(source, 0)
+        if total > seen:
+            raw = inst._values
+            first_retained = total - len(raw)
+            if seen >= first_retained:
+                skip = seen - first_retained
+                if times:
+                    pairs = itertools.islice(zip(inst._times, raw), skip, None)
+                    for t, v in pairs:
+                        window.append(float(t), float(v))
+                else:
+                    for v in itertools.islice(raw, skip, None):
+                        window.append(now, float(v))
+            else:
+                snap = self._sketch_snapshots.get(source)
+                delta = inst.sketch.diff(snap[1] if snap else None)
+                prev_sum = snap[2] if snap else 0.0
+                total_sum = inst.sketch.sum
+                window.append_aggregate(now, total_sum - prev_sum, total - seen,
+                                        float(inst.sketch.last), delta)
+            cursor[source] = total
+        snap = self._sketch_snapshots.get(source)
+        if snap is None or snap[0] != total:
+            self._sketch_snapshots[source] = (total, inst.sketch.copy(),
+                                              inst.sketch.sum)
+
     def _ingest(self, now: float) -> None:
         for source, window in self._windows.items():
             if source in self._probes:
                 window.append(now, float(self._probes[source]()))
             elif source in self.monitor._histograms:
-                values = self.monitor._histograms[source]._values
-                start = self._hist_cursor.get(source, 0)
-                for v in values[start:]:
-                    window.append(now, float(v))
-                self._hist_cursor[source] = len(values)
+                self._ingest_bounded(window, source,
+                                     self.monitor._histograms[source],
+                                     self._hist_cursor, now, times=False)
             elif source in self.monitor._series:
-                series = self.monitor._series[source]
-                start = self._series_cursor.get(source, 0)
-                for t, v in zip(series._times[start:], series._values[start:]):
-                    window.append(float(t), float(v))
-                self._series_cursor[source] = len(series)
+                self._ingest_bounded(window, source,
+                                     self.monitor._series[source],
+                                     self._series_cursor, now, times=True)
             elif source in self.monitor._gauges:
                 gauge = self.monitor._gauges[source]
                 if gauge.updates:
@@ -371,24 +425,47 @@ class SLOEvaluator:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    @staticmethod
+    def _window_sum(entries: list[tuple]) -> float:
+        return float(sum(e[1] for e in entries))
+
     def _evaluate(self, slo: SLO, now: float) -> float | None:
         sig = slo.signal
         cutoff = now - slo.window_s
         window = self._windows[sig.source]
         if sig.kind == "delta":
-            return float(sum(window.since(cutoff)))
+            return self._window_sum(window.since(cutoff))
         if sig.kind == "rate":
-            return float(sum(window.since(cutoff))) / slo.window_s
+            return self._window_sum(window.since(cutoff)) / slo.window_s
         if sig.kind == "ratio":
-            den = sum(self._windows[sig.denominator].since(cutoff))
+            den = self._window_sum(self._windows[sig.denominator].since(cutoff))
             if den == 0:
                 return None
-            return float(sum(window.since(cutoff))) / float(den)
-        values = window.since(cutoff)
+            return self._window_sum(window.since(cutoff)) / den
+        entries = window.since(cutoff)
         if sig.kind == "percentile":
-            return float(np.percentile(values, sig.q)) if values else None
+            if not entries:
+                return None
+            sketches = [e[4] for e in entries if e[4] is not None]
+            if not sketches:
+                # every entry is a plain sample: exact numpy percentile,
+                # the historical low-volume behavior
+                return float(np.percentile([e[1] for e in entries], sig.q))
+            merged = sketches[0].copy()
+            for e in entries:
+                if e[4] is None:
+                    merged.observe(e[1])
+                elif e[4] is not sketches[0]:
+                    merged.merge(e[4])
+            return float(merged.percentile(sig.q))
         if sig.kind == "mean":
-            return float(np.mean(values)) if values else None
+            if not entries:
+                return None
+            count = sum(e[2] for e in entries)
+            if count == len(entries):
+                # plain samples only: keep the historical numpy mean
+                return float(np.mean([e[1] for e in entries]))
+            return self._window_sum(entries) / count
         # "last": the most recent sample ever (gauges stay meaningful
         # between sparse updates), not just within the window
         return window.last()
@@ -402,6 +479,9 @@ class SLOEvaluator:
         self._ingest(now)
         self.monitor.counter("slo.evaluations").add(1)
         tracing = self.tracer.enabled
+        # tail-based trace sampling keeps every trace that overlaps an
+        # SLO violation; the sampler (when wired) learns of alerts here
+        sampler = getattr(self.tracer, "sampler", None)
         n_firing = 0
         for slo in self.slos:
             status = self.status[slo.name]
@@ -418,6 +498,8 @@ class SLOEvaluator:
                 self.monitor.counter("slo.alerts_fired").add(1)
                 self.timeline.append(AlertEvent(now, slo.name, "fire", value,
                                                 slo.objective, slo.severity))
+                if sampler is not None:
+                    sampler.note_alert(now)
                 if tracing:
                     self.tracer.event("slo.fire", slo=slo.name, value=value,
                                       objective=slo.objective,

@@ -27,10 +27,23 @@ Disabled tracing
 every operation into an early return on a singleton.  Instrumentation
 sites guard attribute-rich calls with ``if tracer.enabled:`` so the
 disabled record path allocates nothing (asserted by a tier-1 test).
+
+Bounded recording
+-----------------
+Two opt-in mechanisms keep long soak runs from growing without bound:
+``max_records`` turns :attr:`Tracer.records` into a ring (oldest record
+evicted, counted on :attr:`Tracer.dropped` and the ``obs.trace.dropped``
+monitor counter when a monitor is attached), and a
+:class:`~repro.observability.sampling.TraceSampler` decides per *trace*
+what is retained at all (deterministic head sampling plus tail-based
+retention of error/SLO-violating/slow traces; see
+:mod:`repro.observability.sampling`).  Both default off: the append-only
+behavior above is unchanged unless asked for.
 """
 
 from __future__ import annotations
 
+import collections
 import itertools
 import typing
 
@@ -180,6 +193,8 @@ class Span:
         if self.record.end_s is None:
             self.record.end_s = self._tracer._now()
             self.record.status = status
+            if self._tracer.sampler is not None:
+                self._tracer.sampler.on_span_end(self.record)
 
     def end_at(self, time_s: float, status: str = STATUS_OK) -> None:
         """Close the span at an explicit virtual time (idempotent).
@@ -192,6 +207,8 @@ class Span:
         if self.record.end_s is None:
             self.record.end_s = max(float(time_s), self.record.start_s)
             self.record.status = status
+            if self._tracer.sampler is not None:
+                self._tracer.sampler.on_span_end(self.record)
 
     # -- context manager ----------------------------------------------
     def __enter__(self) -> "Span":
@@ -247,23 +264,53 @@ class Tracer:
         When False every method early-returns on shared singletons;
         instrumentation sites additionally guard with
         ``if tracer.enabled:`` to keep the disabled path allocation-free.
+    max_records:
+        Optional ring size for :attr:`records`: once full, the oldest
+        record is evicted per append and counted on :attr:`dropped` (and
+        the ``obs.trace.dropped`` counter when :attr:`monitor` is set).
+        Default ``None``: unlimited, the historical append-only log.
+    sampler:
+        Optional :class:`~repro.observability.sampling.TraceSampler`;
+        when set, every record routes through its per-trace retention
+        policy instead of appending unconditionally.
+    monitor:
+        Optional :class:`~repro.simkernel.monitor.Monitor` receiving the
+        ``obs.trace.*`` / ``obs.sampling.*`` counters.
 
     Attributes
     ----------
     records:
-        The append-only log, in recording order (spans appear at their
-        *start*; their ``end_s`` is filled in place when they close).
+        The record log, in retention order (spans appear at their
+        *start*; their ``end_s`` is filled in place when they close;
+        sampler-deferred traces flush at their tail decision).
+    dropped:
+        Records evicted by the ``max_records`` ring so far.
     """
 
-    def __init__(self, sim: "Simulator | None", enabled: bool = True) -> None:
+    def __init__(self, sim: "Simulator | None", enabled: bool = True, *,
+                 max_records: int | None = None,
+                 sampler: "typing.Any | None" = None,
+                 monitor: "typing.Any | None" = None) -> None:
         if enabled and sim is None:
             raise ValueError("an enabled tracer needs a simulator for timestamps")
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1 or None, got {max_records!r}")
+        if sampler is not None and not enabled:
+            raise ValueError("a sampler needs an enabled tracer")
         self.sim = sim
         self.enabled = enabled
-        self.records: list[SpanRecord | TraceEvent] = []
+        self.max_records = max_records
+        self.records: typing.MutableSequence[SpanRecord | TraceEvent] = (
+            [] if max_records is None else collections.deque())
+        self.dropped = 0
+        self.monitor = monitor
+        self.sampler = sampler
+        self._finalized = False
         self._trace_ids = itertools.count()
         self._span_ids = itertools.count()
         self._stack: list[Span] = []
+        if sampler is not None:
+            sampler.bind(self)
 
     # ------------------------------------------------------------------
     # recording
@@ -307,10 +354,26 @@ class Tracer:
     # ------------------------------------------------------------------
     # export / reset
     # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Flush sampling state (idempotent; no-op without a sampler).
+
+        Retains the exemplar reservoir and still-open buffered traces,
+        then appends one ``obs.sampling.summary`` event carrying the
+        retained-vs-emitted counters.  Called automatically by
+        :meth:`export`; call it directly before reading
+        :attr:`records` in-process at the end of a sampled run.
+        """
+        if self.sampler is None or self._finalized:
+            return
+        self._finalized = True
+        self.sampler.finish()
+        self._append(self.sampler.summary_event(next(self._trace_ids), self._now()))
+
     def export(self, path) -> int:
         """Write all records as JSONL; returns the record count."""
         from repro.observability.export import write_jsonl
 
+        self.finalize()
         return write_jsonl(self.records, path)
 
     def spans(self) -> list[SpanRecord]:
@@ -325,6 +388,10 @@ class Tracer:
         """Drop all records (between benchmark repetitions)."""
         self.records.clear()
         self._stack.clear()
+        self.dropped = 0
+        self._finalized = False
+        if self.sampler is not None:
+            self.sampler.reset()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -357,7 +424,10 @@ class Tracer:
             parent_id = None
         record = SpanRecord(trace_id, next(self._span_ids), parent_id,
                             name, self._now(), attrs)
-        self.records.append(record)
+        if self.sampler is None:
+            self._append(record)
+        else:
+            self.sampler.offer(record)
         return Span(self, record, parent)
 
     def _event_under(self, parent: SpanRecord | None, name: str, attrs: dict) -> None:
@@ -367,7 +437,20 @@ class Tracer:
             trace_id, parent_id = parent.trace_id, parent.span_id
         else:
             trace_id, parent_id = next(self._trace_ids), None
-        self.records.append(TraceEvent(trace_id, parent_id, name, self._now(), attrs))
+        record = TraceEvent(trace_id, parent_id, name, self._now(), attrs)
+        if self.sampler is None:
+            self._append(record)
+        else:
+            self.sampler.offer(record)
+
+    def _append(self, record: SpanRecord | TraceEvent) -> None:
+        """Final retention: append, evicting from the ring when bounded."""
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.records.popleft()
+            self.dropped += 1
+            if self.monitor is not None:
+                self.monitor.counter("obs.trace.dropped").add(1)
+        self.records.append(record)
 
     def _push(self, span: Span) -> None:
         self._stack.append(span)

@@ -111,8 +111,11 @@ class QueryExecutor:
         tracer = self.ctx.tracer
         span = NOOP_SPAN
         if tracer.enabled:
+            # sampling_key: the stable per-query identity head sampling
+            # hashes on (same submission order -> same retained set)
             span = tracer.span("query.run", text=query.raw,
-                               continuous=query.is_continuous)
+                               continuous=query.is_continuous,
+                               sampling_key=f"query:{self.submitted}")
 
         if not query.is_continuous:
             def finish(o: QueryOutcome) -> None:

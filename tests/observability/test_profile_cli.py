@@ -117,3 +117,16 @@ class TestErrors:
         path = export(tmp_path, "p.json", FRAMES)
         with pytest.raises(SystemExit):
             main(["--diff", path, path, "--collapsed"])
+
+    def test_disjoint_profiles_exit_two_with_one_line_error(self, tmp_path, capsys):
+        """Diffing two unrelated workloads must fail loudly, not render
+        an empty table."""
+        old = export(tmp_path, "old.json", FRAMES)
+        new = export(tmp_path, "new.json",
+                     [("disc.advertise", "discovery", 2_000_000)])
+        assert main(["--diff", old, new]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        err_lines = [ln for ln in captured.err.splitlines() if ln]
+        assert len(err_lines) == 1
+        assert "share no handler names" in err_lines[0]
