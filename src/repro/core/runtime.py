@@ -234,6 +234,40 @@ class PervasiveGridRuntime:
         return FaultInjector(domain, tracer=self.tracer)
 
     # ------------------------------------------------------------------
+    def workload_manager(
+        self,
+        *,
+        classes: "typing.Sequence | None" = None,
+        breakers: "BreakerBoard | None" = None,
+        max_attempts: int = 3,
+        starvation_s: float = 120.0,
+    ) -> "WorkloadManager":
+        """A :class:`~repro.wms.service.WorkloadManager` over this runtime.
+
+        The manager's pilots run on this runtime's grid sites, its queue
+        reports into the runtime's monitor/tracer, and its
+        :meth:`~repro.wms.service.WorkloadManager.submit_query` surface
+        drives the runtime's query executor -- queries from many
+        handheld users then share the grid under the fair-share policy
+        instead of executing synchronously.  ``breakers`` (when given)
+        contributes site health to the pilots' matching descriptions.
+        """
+        from repro.wms.service import WorkloadManager
+        from repro.wms.task import DEFAULT_CLASSES
+
+        return WorkloadManager(
+            self.sim,
+            self.grid.resources,
+            classes=tuple(classes) if classes is not None else DEFAULT_CLASSES,
+            monitor=self.monitor,
+            tracer=self.tracer,
+            breakers=breakers,
+            executor=self.executor,
+            max_attempts=max_attempts,
+            starvation_s=starvation_s,
+        )
+
+    # ------------------------------------------------------------------
     def attach_slos(
         self,
         slos: "typing.Sequence | None" = None,

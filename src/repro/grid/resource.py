@@ -107,8 +107,11 @@ class GridResource:
         fails = self.fail_prob > 0.0 and float(self.rng.random()) < self.fail_prob
         if fails:
             # dies a uniform way through the remaining work; everything up
-            # to that point is checkpointed
-            progress = float(self.rng.uniform(0.0, 1.0))
+            # to that point is checkpointed.  Drawn from the open-at-zero
+            # interval (0, 1]: uniform() can return exactly 0.0, which
+            # would make a zero-duration, zero-checkpoint failure whose
+            # span has started == finished
+            progress = 1.0 - float(self.rng.uniform(0.0, 1.0))
             service *= progress
             finished = started + service
             self._free_at = finished

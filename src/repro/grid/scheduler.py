@@ -32,7 +32,11 @@ class GridScheduler:
         self.tracer = NOOP_TRACER
         self.monitor = None
 
-    def best_resource(self, job: ComputeJob, exclude: set[str] = frozenset()) -> GridResource:
+    def best_resource(
+        self,
+        job: ComputeJob,
+        exclude: typing.AbstractSet[str] = frozenset(),
+    ) -> GridResource:
         """The site minimizing queue-wait + service time for ``job``.
 
         ``exclude`` removes named sites from consideration; if that

@@ -121,6 +121,17 @@ CONVENTIONS: dict[str, MetricSpec] = _catalog([
     MetricSpec("resilience.breaker_trips", "counter", "1", "circuit-breaker opens"),
     MetricSpec("resilience.retries", "counter", "1", "retry attempts (all layers)"),
     MetricSpec("resilience.hedges", "counter", "1", "hedged duplicates fired"),
+    # wms (the workload-management service: queues + pilots)
+    MetricSpec("wms.tasks_submitted", "counter", "1", "tasks accepted by the queue service"),
+    MetricSpec("wms.tasks_dispatched", "counter", "1", "tasks claimed by pilots"),
+    MetricSpec("wms.tasks_completed", "counter", "1", "tasks that finished successfully"),
+    MetricSpec("wms.tasks_failed", "counter", "1", "tasks that failed after all attempts"),
+    MetricSpec("wms.tasks_requeued", "counter", "1", "failed tasks returned to the queue"),
+    MetricSpec("wms.tasks_starved", "counter", "1",
+               "starvation episodes (a class's head wait exceeded the threshold)"),
+    MetricSpec("wms.queue_depth", "series", "1", "waiting tasks over time"),
+    MetricSpec("wms.queue_latency", "histogram", "s", "submit-to-dispatch waits"),
+    MetricSpec("wms.turnaround", "histogram", "s", "submit-to-completion times"),
     # parallel (the trial runner's deterministic reduction)
     MetricSpec("parallel.trials", "counter", "1", "trial worlds reduced into this monitor"),
     MetricSpec("parallel.trial_failures", "counter", "1", "trial worlds that failed in a worker"),

@@ -566,10 +566,11 @@ def default_slos() -> list[SLO]:
     ``grid.uplink_availability`` reads the ``grid.uplink_online`` probe
     that :meth:`repro.core.runtime.PervasiveGridRuntime.attach_slos`
     registers; without the probe it simply reports no data.  The
-    :func:`discovery_slos` ride along -- they are equally no-data-safe,
-    so worlds without replicated discovery never see them breach.
+    :func:`discovery_slos` and :func:`wms_slos` ride along -- they are
+    equally no-data-safe, so worlds without replicated discovery or a
+    workload manager never see them breach.
     """
-    return _grid_slos() + discovery_slos()
+    return _grid_slos() + discovery_slos() + wms_slos()
 
 
 def _grid_slos() -> list[SLO]:
@@ -629,6 +630,35 @@ def discovery_slos() -> list[SLO]:
             Signal("mean", "disc.broker_online"),
             objective=0.99, comparison=">=", window_s=60.0,
             severity="page"),
+    ]
+
+
+def wms_slos() -> list[SLO]:
+    """Objectives over the workload-management service.
+
+    All three read ``wms.*`` instruments the
+    :class:`~repro.wms.queues.TaskQueueService` records, and all are
+    no-data-safe: a world without a workload manager records none of
+    them, the ratio denominators stay 0, the histogram stays empty, and
+    every objective reports no data instead of breaching.
+    """
+    return [
+        SLO("wms.queue_latency_p95",
+            "95th-percentile submit-to-dispatch wait stays responsive",
+            Signal("percentile", "wms.queue_latency", q=95.0),
+            objective=30.0, comparison="<=", window_s=120.0,
+            severity="warn", unit="s"),
+        SLO("wms.failure_ratio",
+            "terminally-failed tasks over dispatched tasks",
+            Signal("ratio", "wms.tasks_failed",
+                   denominator="wms.tasks_dispatched"),
+            objective=0.1, comparison="<=", window_s=120.0, severity="page"),
+        SLO("wms.starvation",
+            "starvation episodes per dispatched task (should be zero)",
+            Signal("ratio", "wms.tasks_starved",
+                   denominator="wms.tasks_dispatched"),
+            objective=0.0, comparison="<=", window_s=300.0,
+            severity="warn"),
     ]
 
 

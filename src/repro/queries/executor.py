@@ -135,7 +135,10 @@ class QueryExecutor:
 
         epoch_s = float(query.epoch_s or 1.0)
         if query.duration_s is not None:
-            n_epochs = max(int(query.duration_s / epoch_s), 1)
+            # the epsilon absorbs float truncation for non-representable
+            # epoch lengths: 10.0 / 0.1 is 99.999... and int() would
+            # silently drop the last epoch
+            n_epochs = max(int(query.duration_s / epoch_s + 1e-9), 1)
         else:
             n_epochs = self.max_epochs
         window: list[tuple[float, typing.Any]] = []  # (epoch time, raw value)
@@ -159,8 +162,13 @@ class QueryExecutor:
                 epoch_span.end(STATUS_OK if outcome.success else STATUS_ERROR)
                 if i + 1 >= n_epochs or not self.ctx.deployment.alive_sensor_ids():
                     if tracer.enabled:
-                        span.set(epochs=len(outcomes))
-                    span.end()
+                        span.set(epochs=len(outcomes),
+                                 failed_epochs=sum(1 for o in outcomes
+                                                   if not o.success))
+                    # the root status mirrors the *final* epoch, so the
+                    # QueryCostLedger books a continuous query that ended
+                    # in failure as a failure
+                    span.end(STATUS_OK if outcomes[-1].success else STATUS_ERROR)
                     on_complete(outcomes)
                 else:
                     # next epoch starts one EPOCH after this one *started*

@@ -1,0 +1,36 @@
+"""Workload management: central task queues drained by pilot workers.
+
+The DIRAC-style layer between query traffic and the grid: producers
+submit :class:`Task` batches into a :class:`TaskQueueService` (per-class
+priority queues, weighted fair-share draining), and a
+:class:`PilotWorker` per site *pulls* work whose declarative
+:class:`TaskRequirements` match the site's live
+:class:`ResourceDescription`.  :class:`WorkloadManager` bundles the
+whole thing for examples and benchmarks.  Everything is deterministic:
+serial and sharded trial runs of the same workload are bit-identical.
+"""
+
+from repro.wms.matching import (
+    NO_REQUIREMENTS,
+    ResourceDescription,
+    TaskRequirements,
+    describe,
+)
+from repro.wms.pilot import PilotWorker
+from repro.wms.queues import TaskQueueService
+from repro.wms.service import WorkloadManager
+from repro.wms.task import DEFAULT_CLASSES, TASK_STATES, PriorityClass, Task
+
+__all__ = [
+    "DEFAULT_CLASSES",
+    "NO_REQUIREMENTS",
+    "PilotWorker",
+    "PriorityClass",
+    "ResourceDescription",
+    "TASK_STATES",
+    "Task",
+    "TaskQueueService",
+    "TaskRequirements",
+    "WorkloadManager",
+    "describe",
+]

@@ -1,0 +1,121 @@
+"""Pilot-style workers: sites pull matched work from the central queue.
+
+A :class:`PilotWorker` is the inversion the DIRAC model brings: instead
+of a scheduler *pushing* jobs at sites, each site runs a lightweight
+pilot that *pulls* the next matching task whenever it has capacity.  The
+pilot describes its site (rate, backlog, breaker health) on every pull,
+so matching always sees fresh state, and it runs one task at a time --
+backlog accumulates in the central queue where the fair-share policy
+can see it, not in per-site FIFOs where it cannot.
+
+Pilots are ordinary simulator actors: they start via a zero-delay event,
+park on the queue when it is empty, and wake through scheduled events,
+so the whole fleet's behaviour is part of the deterministic event order.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.grid.job import ComputeJob, JobResult
+from repro.grid.resource import GridResource
+from repro.simkernel import Simulator
+from repro.wms.matching import describe
+from repro.wms.queues import TaskQueueService
+from repro.wms.task import Task
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.breaker import BreakerBoard
+
+
+class PilotWorker:
+    """One site's pull loop against the central task queue.
+
+    Parameters
+    ----------
+    sim / queue / resource:
+        The shared simulator, the central queue, and the site this pilot
+        serves.
+    breakers:
+        Optional breaker board; its health view flows into the pilot's
+        :class:`~repro.wms.matching.ResourceDescription` on every pull.
+    max_attempts:
+        Compute tasks that fail at this site are requeued (centrally,
+        preserving their submission stamp) until they have been tried
+        this many times in total; after that the failure is final.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        queue: TaskQueueService,
+        resource: GridResource,
+        *,
+        breakers: "BreakerBoard | None" = None,
+        max_attempts: int = 3,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.sim = sim
+        self.queue = queue
+        self.resource = resource
+        self.breakers = breakers
+        self.max_attempts = int(max_attempts)
+        self.tasks_run = 0
+        self.tasks_failed = 0
+        self._started = False
+        self._busy = False
+
+    @property
+    def name(self) -> str:
+        """The pilot's site name."""
+        return self.resource.name
+
+    def start(self) -> None:
+        """Begin pulling (idempotent; first pull is a zero-delay event)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(0.0, self._pull, label=f"pilot:{self.name}:start")
+
+    # ------------------------------------------------------------------
+    # the pull loop
+    # ------------------------------------------------------------------
+    def _pull(self) -> None:
+        if self._busy:
+            return
+        task = self.queue.claim(describe(self.resource, self.breakers))
+        if task is None:
+            self.queue.park(self._pull)
+            return
+        self._busy = True
+        if task.run is not None:
+            task.run(lambda success, _t=task: self._finish(_t, success))
+        else:
+            if task.job is None:
+                # created once and carried across requeues, so the
+                # checkpoint survives site failures
+                task.job = ComputeJob(ops=task.ops, input_bits=task.input_bits,
+                                      output_bits=task.output_bits, name=task.name)
+            self.resource.submit(
+                task.job, lambda result, _t=task: self._job_done(_t, result))
+
+    def _job_done(self, task: Task, result: JobResult) -> None:
+        if not result.success and task.attempts < self.max_attempts:
+            self._busy = False
+            self.queue.requeue(task)
+            self._pull()
+            return
+        self._finish(task, result.success)
+
+    def _finish(self, task: Task, success: bool) -> None:
+        self.tasks_run += 1
+        if not success:
+            self.tasks_failed += 1
+        self.queue.report(task, success)
+        self._busy = False
+        self._pull()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self._busy else ("idle" if self._started else "stopped")
+        return f"PilotWorker({self.name!r}, {state}, run={self.tasks_run})"

@@ -1,0 +1,288 @@
+"""The central task-queue service: priority classes + weighted fair share.
+
+The DIRAC lineage in one object: producers (handheld users, base
+stations, benchmarks) push :class:`~repro.wms.task.Task` batches into
+per-class FIFO queues; pilots pull with :meth:`TaskQueueService.claim`,
+offering their site's :class:`~repro.wms.matching.ResourceDescription`.
+The service decides *which class* serves next by start-time fair
+queuing: every class carries a virtual start tag that advances by
+``ops / weight`` per drained task, so over any contended interval the
+drained *work* per class converges to the weight ratio -- heavy bulk
+tasks cannot starve light interactive ones, and an idle class re-enters
+at the current virtual clock instead of cashing in unbounded credit.
+
+Everything is deterministic: queues are FIFO, the class pick is
+``min((tag, declaration order))``, parked pilots wake in parking order
+through ordinary simulator events, and no RNG or wall clock is ever
+consulted -- serial and sharded runs of the same workload are
+bit-identical (the E15 determinism gate).
+
+Observability: ``wms.*`` counters/histograms/series on the attached
+monitor (see :mod:`repro.observability.metrics`), a ``wms.dispatch``
+trace event per claim and a ``wms.starved`` event whenever a class's
+head task first exceeds the starvation threshold.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import typing
+
+from repro.observability.tracer import NOOP_TRACER, Tracer
+from repro.simkernel import Monitor, Simulator
+from repro.wms.matching import ResourceDescription
+from repro.wms.task import DEFAULT_CLASSES, PriorityClass, Task
+
+
+class _ClassQueue:
+    """One priority class's FIFO plus its fair-share state."""
+
+    __slots__ = ("spec", "order", "tasks", "vtag", "ops_submitted",
+                 "ops_completed", "submitted", "dispatched", "completed",
+                 "failed", "starving")
+
+    def __init__(self, spec: PriorityClass, order: int) -> None:
+        self.spec = spec
+        self.order = order
+        self.tasks: collections.deque[Task] = collections.deque()
+        self.vtag = 0.0  # virtual start tag (ops / weight units)
+        self.ops_submitted = 0.0
+        self.ops_completed = 0.0
+        self.submitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.failed = 0
+        self.starving = False  # inside a starvation episode
+
+
+class TaskQueueService:
+    """Bulk submission in, fair-share matched claims out.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator (timestamps, pilot wake-ups).
+    classes:
+        Priority-class catalog (declaration order is the deterministic
+        tie-break); defaults to interactive/standard/bulk at 6/3/1.
+    monitor / tracer:
+        Observability sinks; both optional/no-op.
+    starvation_s:
+        A class whose head task has waited longer than this opens a
+        starvation episode: one ``wms.tasks_starved`` count and one
+        ``wms.starved`` trace event per episode (cleared when the class
+        next dispatches or empties).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        classes: typing.Sequence[PriorityClass] = DEFAULT_CLASSES,
+        *,
+        monitor: Monitor | None = None,
+        tracer: Tracer | None = None,
+        starvation_s: float = 120.0,
+    ) -> None:
+        if not classes:
+            raise ValueError("the queue service needs at least one priority class")
+        names = [c.name for c in classes]
+        if len(set(names)) != len(names):
+            raise ValueError("priority class names must be unique")
+        if not (math.isfinite(starvation_s) and starvation_s > 0):
+            raise ValueError("starvation_s must be finite and positive")
+        self.sim = sim
+        self.monitor = monitor
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.starvation_s = float(starvation_s)
+        self._classes: dict[str, _ClassQueue] = {
+            spec.name: _ClassQueue(spec, i) for i, spec in enumerate(classes)
+        }
+        self._vclock = 0.0  # virtual time of the last dispatch
+        self._waiters: collections.deque[typing.Callable[[], None]] = collections.deque()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def classes(self) -> tuple[PriorityClass, ...]:
+        """The class catalog, in declaration order."""
+        return tuple(c.spec for c in self._classes.values())
+
+    def depth(self, priority_class: str | None = None) -> int:
+        """Waiting tasks in one class (or in total)."""
+        if priority_class is not None:
+            return len(self._class(priority_class).tasks)
+        return sum(len(c.tasks) for c in self._classes.values())
+
+    def class_stats(self) -> dict[str, dict[str, float]]:
+        """Per-class tallies (deterministic; keyed by class name)."""
+        return {
+            name: {
+                "weight": c.spec.weight,
+                "waiting": float(len(c.tasks)),
+                "submitted": float(c.submitted),
+                "dispatched": float(c.dispatched),
+                "completed": float(c.completed),
+                "failed": float(c.failed),
+                "ops_submitted": c.ops_submitted,
+                "ops_completed": c.ops_completed,
+            }
+            for name, c in self._classes.items()
+        }
+
+    def _class(self, name: str) -> _ClassQueue:
+        cq = self._classes.get(name)
+        if cq is None:
+            raise KeyError(f"unknown priority class {name!r} "
+                           f"(have {sorted(self._classes)})")
+        return cq
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> Task:
+        """Enqueue one task; returns it (stamped)."""
+        self.submit_bulk((task,))
+        return task
+
+    def submit_bulk(self, tasks: typing.Sequence[Task]) -> int:
+        """Enqueue a batch atomically (one depth sample, one wake pass).
+
+        Bulk submission is the high-traffic entry point: a base station
+        flushing a burst of handheld queries costs O(batch) appends, not
+        O(batch) bookkeeping rounds.  Returns the batch size.
+        """
+        now = self.sim.now
+        for task in tasks:
+            cq = self._class(task.priority_class)
+            if not cq.tasks:
+                # an idle class re-enters at the current virtual clock:
+                # no credit accumulates while a class has nothing queued
+                cq.vtag = max(cq.vtag, self._vclock)
+            task.state = "waiting"
+            task.submitted_at = now
+            cq.tasks.append(task)
+            cq.submitted += 1
+            cq.ops_submitted += task.ops
+        if self.monitor is not None:
+            self.monitor.counter("wms.tasks_submitted").add(len(tasks))
+            self.monitor.series("wms.queue_depth").record(now, float(self.depth()))
+        self._wake(len(tasks))
+        return len(tasks)
+
+    def requeue(self, task: Task) -> None:
+        """Return a failed/preempted task to the tail of its class queue.
+
+        The original ``submitted_at`` is preserved so queue-latency
+        accounting keeps charging the full wait to the task.
+        """
+        cq = self._class(task.priority_class)
+        if not cq.tasks:
+            cq.vtag = max(cq.vtag, self._vclock)
+        task.state = "waiting"
+        task.site = ""
+        cq.tasks.append(task)
+        if self.monitor is not None:
+            self.monitor.counter("wms.tasks_requeued").add(1)
+        self._wake(1)
+
+    # ------------------------------------------------------------------
+    # the pull half: matched claims
+    # ------------------------------------------------------------------
+    def claim(self, desc: ResourceDescription) -> Task | None:
+        """The next task ``desc`` may run, under fair-share order.
+
+        Classes are considered in ascending ``(virtual tag, declaration
+        order)``; within a class only the head task is offered (strict
+        FIFO -- a head whose requirements reject this site blocks its
+        class for this claim, it is never overtaken by queue-jumping).
+        Returns ``None`` when no head task matches.
+        """
+        now = self.sim.now
+        self._check_starvation(now)
+        order = sorted(
+            (c for c in self._classes.values() if c.tasks),
+            key=lambda c: (c.vtag, c.order),
+        )
+        for cq in order:
+            head = cq.tasks[0]
+            if not head.requirements.accepts(desc):
+                continue
+            cq.tasks.popleft()
+            self._vclock = cq.vtag
+            cq.vtag += max(head.ops, 1.0) / cq.spec.weight
+            cq.dispatched += 1
+            cq.starving = False
+            head.state = "running"
+            head.dispatched_at = now
+            head.site = desc.name
+            head.attempts += 1
+            if self.monitor is not None:
+                self.monitor.counter("wms.tasks_dispatched").add(1)
+                self.monitor.histogram("wms.queue_latency").observe(head.queue_wait_s)
+                self.monitor.series("wms.queue_depth").record(now, float(self.depth()))
+            if self.tracer.enabled:
+                self.tracer.event("wms.dispatch", task_id=head.task_id,
+                                  priority_class=head.priority_class,
+                                  site=desc.name, wait_s=head.queue_wait_s,
+                                  attempt=head.attempts, depth=self.depth())
+            return head
+        return None
+
+    def report(self, task: Task, success: bool) -> None:
+        """A pilot finished ``task``; close out its accounting."""
+        cq = self._class(task.priority_class)
+        task.state = "done" if success else "failed"
+        task.finished_at = self.sim.now
+        if success:
+            cq.completed += 1
+            cq.ops_completed += task.ops
+        else:
+            cq.failed += 1
+        if self.monitor is not None:
+            name = "wms.tasks_completed" if success else "wms.tasks_failed"
+            self.monitor.counter(name).add(1)
+            self.monitor.histogram("wms.turnaround").observe(task.turnaround_s)
+
+    # ------------------------------------------------------------------
+    # pilot parking
+    # ------------------------------------------------------------------
+    def park(self, wake: typing.Callable[[], None]) -> None:
+        """Register an idle pilot's wake callback (FIFO wake order).
+
+        Parked pilots cost nothing while the queue is empty; each
+        submitted task wakes at most one pilot (through a zero-delay
+        simulator event, so wake order is part of the deterministic
+        event order).
+        """
+        self._waiters.append(wake)
+
+    def _wake(self, n: int) -> None:
+        woken = 0
+        while self._waiters and woken < n:
+            wake = self._waiters.popleft()
+            self.sim.schedule(0.0, wake, label="wms.wake")
+            woken += 1
+
+    # ------------------------------------------------------------------
+    # starvation watch
+    # ------------------------------------------------------------------
+    def _check_starvation(self, now: float) -> None:
+        for cq in self._classes.values():
+            if not cq.tasks:
+                cq.starving = False
+                continue
+            wait = now - cq.tasks[0].submitted_at
+            if wait > self.starvation_s and not cq.starving:
+                cq.starving = True
+                if self.monitor is not None:
+                    self.monitor.counter("wms.tasks_starved").add(1)
+                if self.tracer.enabled:
+                    self.tracer.event("wms.starved",
+                                      priority_class=cq.spec.name,
+                                      wait_s=wait, depth=len(cq.tasks))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        depths = {name: len(c.tasks) for name, c in self._classes.items()}
+        return f"TaskQueueService(depth={depths}, parked={len(self._waiters)})"

@@ -1,0 +1,166 @@
+"""The workload-management facade: queue + pilot fleet in one object.
+
+:class:`WorkloadManager` is what examples and benchmarks build: it owns
+a :class:`~repro.wms.queues.TaskQueueService`, spawns one
+:class:`~repro.wms.pilot.PilotWorker` per grid site, and offers the two
+submission surfaces the pervasive grid needs -- raw compute tasks
+(:meth:`submit_compute`) and §4 query text (:meth:`submit_query`, which
+wraps a :class:`~repro.queries.executor.QueryExecutor` submission as a
+queued task so fleets of handheld users share the grid under the
+fair-share policy instead of executing synchronously).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.grid.resource import GridResource
+from repro.observability.tracer import Tracer
+from repro.simkernel import Monitor, Simulator
+from repro.wms.pilot import PilotWorker
+from repro.wms.queues import TaskQueueService
+from repro.wms.task import DEFAULT_CLASSES, PriorityClass, Task
+from repro.wms.matching import NO_REQUIREMENTS, TaskRequirements
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.queries.executor import QueryExecutor, QueryOutcome
+    from repro.resilience.breaker import BreakerBoard
+
+
+class WorkloadManager:
+    """A DIRAC-style WMS over a fleet of grid sites.
+
+    Parameters
+    ----------
+    sim / resources:
+        The shared simulator and the sites to run pilots on.
+    classes:
+        Priority-class catalog (default interactive/standard/bulk).
+    monitor / tracer:
+        Observability sinks, forwarded to the queue service.
+    breakers:
+        Optional breaker board; unhealthy sites stop matching
+        health-requiring tasks.
+    executor:
+        Optional query executor backing :meth:`submit_query`.
+    max_attempts / starvation_s:
+        Forwarded to the pilots and the queue service respectively.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        resources: typing.Sequence[GridResource],
+        *,
+        classes: typing.Sequence[PriorityClass] = DEFAULT_CLASSES,
+        monitor: Monitor | None = None,
+        tracer: Tracer | None = None,
+        breakers: "BreakerBoard | None" = None,
+        executor: "QueryExecutor | None" = None,
+        max_attempts: int = 3,
+        starvation_s: float = 120.0,
+    ) -> None:
+        if not resources:
+            raise ValueError("the workload manager needs at least one site")
+        self.sim = sim
+        self.executor = executor
+        self.queue = TaskQueueService(sim, classes, monitor=monitor,
+                                      tracer=tracer, starvation_s=starvation_s)
+        self.pilots = [
+            PilotWorker(sim, self.queue, resource, breakers=breakers,
+                        max_attempts=max_attempts)
+            for resource in resources
+        ]
+        self._started = False
+
+    def start(self) -> "WorkloadManager":
+        """Start every pilot (idempotent); returns self for chaining."""
+        if not self._started:
+            self._started = True
+            for pilot in self.pilots:
+                pilot.start()
+        return self
+
+    # ------------------------------------------------------------------
+    # submission surfaces
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> Task:
+        """Queue a pre-built task (pilots must be started to drain it)."""
+        self.start()
+        return self.queue.submit(task)
+
+    def submit_bulk(self, tasks: typing.Sequence[Task]) -> int:
+        """Queue a batch of pre-built tasks; returns the batch size."""
+        self.start()
+        return self.queue.submit_bulk(tasks)
+
+    def submit_compute(
+        self,
+        ops: float,
+        *,
+        priority_class: str = "standard",
+        owner: str = "",
+        name: str = "",
+        requirements: TaskRequirements = NO_REQUIREMENTS,
+        input_bits: float = 0.0,
+        output_bits: float = 0.0,
+    ) -> Task:
+        """Queue a pure compute task; the claiming pilot runs it on-site."""
+        return self.submit(Task(
+            ops=ops, priority_class=priority_class, owner=owner, name=name,
+            requirements=requirements, input_bits=input_bits,
+            output_bits=output_bits,
+        ))
+
+    def submit_query(
+        self,
+        query_text: str,
+        *,
+        priority_class: str = "interactive",
+        owner: str = "",
+        ops: float = 1.0,
+        requirements: TaskRequirements = NO_REQUIREMENTS,
+        on_complete: "typing.Callable[[list[QueryOutcome]], None] | None" = None,
+    ) -> Task:
+        """Queue a §4 query as a task; it executes when a pilot claims it.
+
+        ``ops`` is the fair-share charge for the query (an estimate -- the
+        actual work runs through the executor's own cost model).  The
+        task succeeds when the query produced outcomes and its final
+        epoch succeeded.
+        """
+        if self.executor is None:
+            raise RuntimeError("WorkloadManager built without an executor; "
+                               "pass executor= to submit queries")
+        executor = self.executor
+
+        def run(done: typing.Callable[[bool], None]) -> None:
+            def finished(outcomes: "list[QueryOutcome]") -> None:
+                ok = bool(outcomes) and outcomes[-1].success
+                done(ok)
+                if on_complete is not None:
+                    on_complete(outcomes)
+
+            executor.submit(query_text, finished)
+
+        return self.submit(Task(
+            ops=ops, priority_class=priority_class, owner=owner,
+            name=query_text, requirements=requirements, run=run,
+        ))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, typing.Any]:
+        """Deterministic roll-up: per-class tallies plus pilot activity."""
+        return {
+            "classes": self.queue.class_stats(),
+            "depth": self.queue.depth(),
+            "pilots": {
+                p.name: {"tasks_run": float(p.tasks_run),
+                         "tasks_failed": float(p.tasks_failed)}
+                for p in self.pilots
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"WorkloadManager(sites={len(self.pilots)}, "
+                f"depth={self.queue.depth()})")

@@ -43,6 +43,50 @@ class TestFailingResource:
         with pytest.raises(ValueError):
             GridResource(sim, "x", 1e6, fail_prob=0.5)
 
+    def test_failed_attempt_always_advances_clock_or_checkpoint(self):
+        """Regression: the progress draw must come from an open interval.
+
+        ``rng.uniform(0.0, 1.0)`` can return exactly 0.0, which made a
+        zero-duration, zero-checkpoint failure whose span had
+        ``started == finished`` -- an attempt that consumed nothing and
+        taught the checkpoint nothing.
+        """
+
+        class ZeroUniformRng:
+            """Forces a failure whose pre-fix progress draw is exactly 0.0."""
+
+            def random(self):
+                return 0.0  # < fail_prob: the job fails
+
+            def uniform(self, low, high):
+                return 0.0  # the degenerate draw
+
+        sim = Simulator()
+        site = GridResource(sim, "flaky", 1e6, fail_prob=0.5,
+                            rng=ZeroUniformRng())
+        job = ComputeJob(ops=1e6)
+        results = []
+        site.submit(job, results.append)
+        sim.run()
+        (r,) = results
+        assert not r.success
+        assert r.finished_at > r.started_at or job.checkpoint_fraction > 0.0
+
+    def test_failure_draws_span_open_interval(self):
+        """Every failed attempt makes progress, across many real draws."""
+        for seed in range(50):
+            sim = Simulator()
+            site = GridResource(sim, "flaky", 1e6, fail_prob=0.999,
+                                rng=np.random.default_rng(seed))
+            job = ComputeJob(ops=1e6)
+            results = []
+            site.submit(job, results.append)
+            sim.run()
+            (r,) = results
+            assert not r.success
+            assert r.finished_at > r.started_at
+            assert job.checkpoint_fraction > 0.0
+
     def test_zero_fail_prob_behaves_as_before(self):
         sim = Simulator()
         site = GridResource(sim, "ok", 1e6)
@@ -108,6 +152,48 @@ class TestCheckpointedResubmission:
         sim.run()
         assert not results[0].success
         assert sched.resubmissions == 0
+
+    def test_exclusion_resets_after_every_site_failed(self):
+        """max_attempts > n_sites: once every site has failed the job,
+        the exclusion resets and later attempts dispatch again (a site
+        that failed once is better than no site)."""
+        from repro.observability.tracer import Tracer
+
+        sim = Simulator()
+        sites = [
+            GridResource(sim, f"f{i}", 1e9, fail_prob=0.999,
+                         rng=np.random.default_rng(i))
+            for i in range(2)
+        ]
+        sched = GridScheduler(sites)
+        sched.tracer = Tracer(sim)
+        results = []
+        sched.submit(ComputeJob(ops=1e6), results.append, max_attempts=5)
+        sim.run()
+        (r,) = results
+        assert not r.success
+        assert sched.resubmissions == 4
+        dispatches = [rec for rec in sched.tracer.records
+                      if rec.name == "grid.dispatch"]
+        assert [d.attrs["attempt"] for d in dispatches] == [1, 2, 3, 4, 5]
+        # the first two attempts exhaust the distinct sites; attempts
+        # 3..5 only happen because the exclusion reset re-opened the pool
+        assert {d.attrs["site"] for d in dispatches[:2]} == {"f0", "f1"}
+        assert all(d.attrs["site"] in {"f0", "f1"} for d in dispatches[2:])
+
+    def test_best_resource_accepts_any_abstract_set(self):
+        """``exclude`` takes frozenset (the default), set, or dict keys."""
+        sim = Simulator()
+        a = GridResource(sim, "a", 1e9)
+        b = GridResource(sim, "b", 1e6)
+        sched = GridScheduler([a, b])
+        job = ComputeJob(ops=1e6)
+        assert sched.best_resource(job) is a
+        assert sched.best_resource(job, exclude=frozenset({"a"})) is b
+        assert sched.best_resource(job, exclude={"a"}) is b
+        assert sched.best_resource(job, exclude={"a": 1}.keys()) is b
+        # excluding everything re-opens the full pool
+        assert sched.best_resource(job, exclude={"a", "b"}) is a
 
 
 class TestUplinkAvailability:

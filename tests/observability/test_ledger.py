@@ -193,3 +193,43 @@ class TestRealRuntimeAgreement:
         assert cost.model == "+".join(
             dict.fromkeys(o.model for o in ok))  # order-preserving
         assert cost.messages > 0
+
+    def test_failed_continuous_query_books_as_failure(self):
+        """A continuous query whose final epoch failed must not ledger as ok.
+
+        Pre-fix, the continuous root span always ended with OK status
+        (and recorded no failure count), so the QueryCostLedger booked a
+        query whose every remaining epoch failed as a success.
+        """
+
+        class FailAfterFirst:
+            """Delegates epoch 0, then finds no feasible model."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def decide(self, query, ctx, targets):
+                self.calls += 1
+                return self.inner.decide(query, ctx, targets) if self.calls == 1 else None
+
+            def feedback(self, *args):
+                return self.inner.feedback(*args)
+
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=5, trace=True)
+        rt.executor.decision_maker = FailAfterFirst(rt.decision_maker)
+        got = []
+        rt.executor.submit("SELECT AVG(value) FROM sensors EPOCH DURATION 1 FOR 3",
+                           got.append)
+        rt.sim.run(until=60.0)
+        (outcomes,) = got
+        assert len(outcomes) == 3
+        assert outcomes[0].success and not outcomes[-1].success
+
+        ledger = QueryCostLedger.from_trace(rt.tracer)
+        assert len(ledger) == 1
+        assert not ledger.records[0].success
+
+        root = next(r for r in rt.tracer.records if r.name == "query.run")
+        assert root.attrs["failed_epochs"] == 2
+        assert root.attrs["epochs"] == 3

@@ -78,6 +78,29 @@ class TestContinuous:
         gaps = [b - a for a, b in zip(times, times[1:])]
         assert all(g == pytest.approx(7.0, abs=0.5) for g in gaps)
 
+    @pytest.mark.parametrize(
+        "epoch, duration, expected",
+        [
+            ("0.1", "0.7", 7),   # 0.7 / 0.1 == 6.999... under floats
+            ("0.2", "0.6", 3),   # 0.6 / 0.2 == 2.999...
+            ("1.1", "3.3", 3),   # 3.3 / 1.1 == 2.999...
+        ],
+    )
+    def test_epoch_count_survives_float_truncation(self, epoch, duration, expected):
+        """Non-representable epoch lengths must not drop the last epoch.
+
+        Pre-fix, ``int(duration_s / epoch_s)`` truncated 9.999... to 9
+        and the final epoch silently vanished.
+        """
+        rt = make_runtime()
+        got = []
+        rt.submit(
+            f"SELECT AVG(value) FROM sensors EPOCH DURATION {epoch} FOR {duration}",
+            got.append)
+        rt.sim.run(until=600.0)
+        assert got, "continuous query must complete"
+        assert len(got[0]) == expected
+
     def test_max_epochs_cap_without_duration(self):
         rt = make_runtime()
         rt.executor.max_epochs = 3

@@ -44,6 +44,7 @@ class TestSubpackageExports:
         "repro.queries.models",
         "repro.core",
         "repro.workloads",
+        "repro.wms",
     ])
     def test_all_names_resolve(self, module):
         import importlib
@@ -65,6 +66,7 @@ class TestSubpackageExports:
             "repro.agents", "repro.discovery", "repro.composition", "repro.pde",
             "repro.faults", "repro.resilience",
             "repro.datamining", "repro.queries", "repro.core", "repro.workloads",
+            "repro.wms",
         ]:
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", []):

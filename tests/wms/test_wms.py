@@ -1,0 +1,409 @@
+"""Tests for the workload-management service: queues, matching, pilots."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grid.job import ComputeJob
+from repro.grid.resource import GridResource
+from repro.observability.tracer import Tracer
+from repro.simkernel import Monitor, Simulator
+from repro.wms import (
+    DEFAULT_CLASSES,
+    NO_REQUIREMENTS,
+    PilotWorker,
+    PriorityClass,
+    ResourceDescription,
+    Task,
+    TaskQueueService,
+    TaskRequirements,
+    WorkloadManager,
+    describe,
+)
+
+
+def desc(name="site0", rate=1e9, backlog=0.0, healthy=True):
+    return ResourceDescription(name=name, ops_per_second=rate,
+                               backlog_s=backlog, healthy=healthy)
+
+
+class TestTaskAndClasses:
+    def test_priority_class_validation(self):
+        with pytest.raises(ValueError):
+            PriorityClass("", 1.0)
+        with pytest.raises(ValueError):
+            PriorityClass("x", 0.0)
+        with pytest.raises(ValueError):
+            PriorityClass("x", float("inf"))
+
+    def test_task_validation_and_lifecycle_stamps(self):
+        with pytest.raises(ValueError):
+            Task(ops=-1.0)
+        with pytest.raises(ValueError):
+            Task(ops=1.0, input_bits=-1.0)
+        t = Task(ops=5.0)
+        assert t.state == "waiting"
+        assert math.isnan(t.queue_wait_s) and math.isnan(t.turnaround_s)
+
+    def test_task_ids_are_unique(self):
+        a, b = Task(ops=1.0), Task(ops=1.0)
+        assert a.task_id != b.task_id
+
+    def test_default_catalog_shape(self):
+        names = [c.name for c in DEFAULT_CLASSES]
+        assert names == ["interactive", "standard", "bulk"]
+        weights = [c.weight for c in DEFAULT_CLASSES]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestMatching:
+    def test_no_requirements_accepts_healthy(self):
+        assert NO_REQUIREMENTS.accepts(desc())
+
+    def test_requirements_reject_each_axis(self):
+        req = TaskRequirements(min_ops_rate=1e6, max_backlog_s=10.0,
+                               require_healthy=True,
+                               sites=frozenset({"site0"}))
+        assert req.accepts(desc())
+        assert not req.accepts(desc(rate=1e3))
+        assert not req.accepts(desc(backlog=11.0))
+        assert not req.accepts(desc(healthy=False))
+        assert not req.accepts(desc(name="site1"))
+
+    def test_unhealthy_allowed_when_not_required(self):
+        req = TaskRequirements(require_healthy=False)
+        assert req.accepts(desc(healthy=False))
+
+    def test_requirements_validation(self):
+        with pytest.raises(ValueError):
+            TaskRequirements(min_ops_rate=-1.0)
+        with pytest.raises(ValueError):
+            TaskRequirements(max_backlog_s=-1.0)
+
+    def test_describe_reads_live_resource_state(self):
+        sim = Simulator()
+        site = GridResource(sim, "siteX", 1e6)
+        site.submit(ComputeJob(ops=2e6))
+        d = describe(site)
+        assert d.name == "siteX"
+        assert d.ops_per_second == 1e6
+        assert d.backlog_s == pytest.approx(2.0)
+        assert d.healthy
+
+    def test_describe_consults_breaker_board(self):
+        class Board:
+            def blocked_providers(self):
+                return {"siteX"}
+
+        sim = Simulator()
+        site = GridResource(sim, "siteX", 1e6)
+        assert not describe(site, Board()).healthy
+        assert describe(GridResource(sim, "siteY", 1e6), Board()).healthy
+
+
+class TestTaskQueueService:
+    def make(self, **kw):
+        sim = Simulator()
+        monitor = Monitor()
+        q = TaskQueueService(sim, monitor=monitor, **kw)
+        return sim, monitor, q
+
+    def test_constructor_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TaskQueueService(sim, [])
+        with pytest.raises(ValueError):
+            TaskQueueService(sim, [PriorityClass("a", 1.0),
+                                   PriorityClass("a", 2.0)])
+        with pytest.raises(ValueError):
+            TaskQueueService(sim, starvation_s=0.0)
+
+    def test_unknown_class_rejected(self):
+        _, _, q = self.make()
+        with pytest.raises(KeyError):
+            q.submit(Task(ops=1.0, priority_class="no-such-class"))
+
+    def test_fifo_within_class(self):
+        _, _, q = self.make()
+        tasks = [Task(ops=1.0, priority_class="standard", name=f"t{i}")
+                 for i in range(3)]
+        q.submit_bulk(tasks)
+        claimed = [q.claim(desc()).name for _ in range(3)]
+        assert claimed == ["t0", "t1", "t2"]
+        assert q.claim(desc()) is None
+
+    def test_claim_stamps_lifecycle(self):
+        sim, _, q = self.make()
+        t = q.submit(Task(ops=1.0))
+        got = q.claim(desc())
+        assert got is t
+        assert t.state == "running" and t.site == "site0" and t.attempts == 1
+        q.report(t, True)
+        assert t.state == "done"
+        assert t.turnaround_s == 0.0
+
+    def test_fair_share_drains_ops_by_weight(self):
+        """Over a contended burst, drained ops track the weight ratio."""
+        _, _, q = self.make(classes=(PriorityClass("heavy", 3.0),
+                                     PriorityClass("light", 1.0)))
+        q.submit_bulk([Task(ops=10.0, priority_class="heavy")
+                       for _ in range(400)])
+        q.submit_bulk([Task(ops=10.0, priority_class="light")
+                       for _ in range(400)])
+        drained = {"heavy": 0.0, "light": 0.0}
+        for _ in range(200):  # both classes stay backlogged throughout
+            t = q.claim(desc())
+            drained[t.priority_class] += t.ops
+        assert drained["heavy"] / drained["light"] == pytest.approx(3.0, rel=0.1)
+
+    def test_head_of_line_blocks_only_its_class(self):
+        """A head whose requirements reject the site never blocks other
+        classes, and is not overtaken within its own class."""
+        _, _, q = self.make()
+        picky = Task(ops=1.0, priority_class="interactive", name="picky",
+                     requirements=TaskRequirements(sites=frozenset({"other"})))
+        easy = Task(ops=1.0, priority_class="interactive", name="easy")
+        bulk = Task(ops=1.0, priority_class="bulk", name="bulk")
+        q.submit_bulk([picky, easy, bulk])
+        # interactive's head rejects site0: the claim falls through to bulk
+        assert q.claim(desc()).name == "bulk"
+        # the picky head still shields its classmate (strict FIFO)
+        assert q.claim(desc()) is None
+        assert q.claim(desc(name="other")).name == "picky"
+        assert q.claim(desc()).name == "easy"
+
+    def test_idle_class_does_not_hoard_credit(self):
+        """A class idle through a long drain re-enters at the current
+        virtual clock, not at zero -- it cannot monopolize afterwards."""
+        _, _, q = self.make(classes=(PriorityClass("a", 1.0),
+                                     PriorityClass("b", 1.0)))
+        q.submit_bulk([Task(ops=100.0, priority_class="a")
+                       for _ in range(50)])
+        for _ in range(40):
+            q.claim(desc())
+        # b arrives late; without catch-up it would win the next ~40 claims
+        q.submit_bulk([Task(ops=100.0, priority_class="b")
+                       for _ in range(10)])
+        first_ten = [q.claim(desc()).priority_class for _ in range(10)]
+        assert first_ten.count("a") >= 4  # interleaved, not starved
+
+    def test_requeue_preserves_submission_stamp(self):
+        sim, monitor, q = self.make()
+        t = q.submit(Task(ops=1.0))
+        got = q.claim(desc())
+        sim.run(until=5.0)
+        q.requeue(got)
+        assert got.state == "waiting" and got.site == ""
+        again = q.claim(desc())
+        assert again is t
+        assert again.queue_wait_s == 5.0  # charged from original submit
+        assert monitor.counters()["wms.tasks_requeued"] == 1.0
+
+    def test_counters_and_histograms_recorded(self):
+        sim, monitor, q = self.make()
+        q.submit_bulk([Task(ops=1.0), Task(ops=2.0)])
+        sim.run(until=1.0)
+        t = q.claim(desc())
+        q.report(t, True)
+        t2 = q.claim(desc())
+        q.report(t2, False)
+        c = monitor.counters()
+        assert c["wms.tasks_submitted"] == 2.0
+        assert c["wms.tasks_dispatched"] == 2.0
+        assert c["wms.tasks_completed"] == 1.0
+        assert c["wms.tasks_failed"] == 1.0
+        summary = monitor.summary()
+        assert summary["wms.queue_latency.count"] == 2
+
+    def test_starvation_episode_fires_once(self):
+        sim, monitor, q = self.make(starvation_s=10.0)
+        sim.tracer = tracer = Tracer(sim)
+        q.tracer = tracer
+        q.submit(Task(ops=1.0, priority_class="bulk",
+                      requirements=TaskRequirements(sites=frozenset({"other"}))))
+        sim.run(until=20.0)
+        q.claim(desc())  # head cannot match: episode opens
+        q.claim(desc())  # still starving: no second count
+        assert monitor.counters()["wms.tasks_starved"] == 1.0
+        starved = [r for r in tracer.records if r.name == "wms.starved"]
+        assert len(starved) == 1
+        assert starved[0].attrs["priority_class"] == "bulk"
+        # draining the class closes the episode; a fresh stall reopens it
+        assert q.claim(desc(name="other")) is not None
+        q.submit(Task(ops=1.0, priority_class="bulk",
+                      requirements=TaskRequirements(sites=frozenset({"other"}))))
+        sim.run(until=40.0)
+        q.claim(desc())
+        assert monitor.counters()["wms.tasks_starved"] == 2.0
+
+    def test_dispatch_emits_trace_event(self):
+        sim, _, q = self.make()
+        tracer = Tracer(sim)
+        q.tracer = tracer
+        q.submit(Task(ops=1.0))
+        q.claim(desc())
+        events = [r for r in tracer.records if r.name == "wms.dispatch"]
+        assert len(events) == 1
+        assert events[0].attrs["site"] == "site0"
+
+    def test_wake_parks_through_simulator_events(self):
+        sim, _, q = self.make()
+        woken = []
+        q.park(lambda: woken.append("a"))
+        q.park(lambda: woken.append("b"))
+        q.submit(Task(ops=1.0))  # one task wakes exactly one pilot
+        sim.run()
+        assert woken == ["a"]
+        q.submit_bulk([Task(ops=1.0), Task(ops=1.0)])
+        sim.run()
+        assert woken == ["a", "b"]
+
+
+class TestPilots:
+    def test_pilot_runs_compute_tasks_on_its_site(self):
+        sim = Simulator()
+        monitor = Monitor()
+        q = TaskQueueService(sim, monitor=monitor)
+        site = GridResource(sim, "site0", 1e6)
+        pilot = PilotWorker(sim, q, site)
+        pilot.start()
+        q.submit_bulk([Task(ops=1e6), Task(ops=2e6)])
+        sim.run()
+        assert pilot.tasks_run == 2 and pilot.tasks_failed == 0
+        assert site.jobs_completed == 2
+        assert sim.now == pytest.approx(3.0)
+        assert monitor.counters()["wms.tasks_completed"] == 2.0
+
+    def test_pilot_runs_payload_tasks(self):
+        sim = Simulator()
+        q = TaskQueueService(sim)
+        site = GridResource(sim, "site0", 1e6)
+        PilotWorker(sim, q, site).start()
+        ran = []
+
+        def run(done):
+            ran.append(True)
+            sim.schedule(0.5, lambda: done(True), label="payload")
+
+        t = Task(ops=1.0, run=run)
+        q.submit(t)
+        sim.run()
+        assert ran == [True]
+        assert t.state == "done"
+
+    def test_failed_compute_requeues_and_keeps_checkpoint(self):
+        sim = Simulator()
+        q = TaskQueueService(sim)
+        flaky = GridResource(sim, "flaky", 1e6, fail_prob=0.999,
+                             rng=np.random.default_rng(0))
+        pilot = PilotWorker(sim, q, flaky, max_attempts=3)
+        pilot.start()
+        t = Task(ops=1e6)
+        q.submit(t)
+        sim.run()
+        assert t.state == "failed"
+        assert t.attempts == 3
+        assert t.job is not None
+        # the checkpoint accumulated across all three attempts
+        assert t.job.checkpoint_fraction > 0.0
+        assert pilot.tasks_failed == 1
+
+    def test_max_attempts_validation(self):
+        sim = Simulator()
+        q = TaskQueueService(sim)
+        site = GridResource(sim, "site0", 1e6)
+        with pytest.raises(ValueError):
+            PilotWorker(sim, q, site, max_attempts=0)
+
+
+class TestWorkloadManager:
+    def test_needs_at_least_one_site(self):
+        with pytest.raises(ValueError):
+            WorkloadManager(Simulator(), [])
+
+    def test_compute_tasks_spread_over_pilots(self):
+        sim = Simulator()
+        sites = [GridResource(sim, f"s{i}", 1e6) for i in range(4)]
+        wm = WorkloadManager(sim, sites)
+        for i in range(8):
+            wm.submit_compute(1e6, owner=f"u{i}")
+        sim.run()
+        stats = wm.stats()
+        assert stats["depth"] == 0
+        assert sum(p["tasks_run"] for p in stats["pilots"].values()) == 8
+        # the pull model keeps every site busy, not just the first
+        assert all(p["tasks_run"] > 0 for p in stats["pilots"].values())
+
+    def test_submit_query_requires_executor(self):
+        sim = Simulator()
+        wm = WorkloadManager(sim, [GridResource(sim, "s0", 1e6)])
+        with pytest.raises(RuntimeError):
+            wm.submit_query("SELECT AVG(value) FROM sensors")
+
+    def test_runtime_query_path(self):
+        from repro.core import PervasiveGridRuntime
+
+        rt = PervasiveGridRuntime(n_sensors=9, area_m=20.0, seed=3,
+                                  noise_std=0.0, grid_resolution=8)
+        wm = rt.workload_manager().start()
+        results = []
+        t = wm.submit_query("SELECT AVG(value) FROM sensors",
+                            owner="handheld0",
+                            on_complete=results.append)
+        rt.sim.run(until=100.0)
+        assert t.state == "done"
+        (outcomes,) = results
+        assert outcomes[0].success
+        c = rt.monitor.counters()
+        assert c["wms.tasks_completed"] == 1.0
+
+    def test_deterministic_across_identical_runs(self):
+        def world():
+            sim = Simulator()
+            monitor = Monitor()
+            sites = [GridResource(sim, f"s{i}", 1e6 * (i + 1)) for i in range(3)]
+            wm = WorkloadManager(sim, sites, monitor=monitor)
+            for i in range(30):
+                cls = DEFAULT_CLASSES[i % 3].name
+                wm.submit_compute(1e5 * (i + 1), priority_class=cls,
+                                  owner=f"u{i % 5}")
+            sim.run()
+            return monitor.summary(), wm.stats(), sim.now
+
+        assert world() == world()
+
+
+class TestWmsSlos:
+    def test_bundle_is_no_data_safe(self):
+        from repro.observability.slo import SLOEvaluator, wms_slos
+
+        sim = Simulator()
+        ev = SLOEvaluator(sim, Monitor(), wms_slos(), interval_s=10.0)
+        ev.start(30.0)
+        sim.run()
+        assert ev.health().verdict != "unhealthy"
+        assert not ev.health().firing
+
+    def test_failure_ratio_breaches_on_bad_run(self):
+        from repro.observability.slo import SLOEvaluator, wms_slos
+
+        sim = Simulator()
+        monitor = Monitor()
+        monitor.counter("wms.tasks_dispatched").add(10)
+        monitor.counter("wms.tasks_failed").add(5)
+        ev = SLOEvaluator(sim, monitor, wms_slos(), interval_s=10.0)
+        ev.start(30.0)
+        sim.run()
+        assert "wms.failure_ratio" in ev.health().firing
+
+    def test_wms_metrics_are_catalogued(self):
+        from repro.observability.metrics import CONVENTIONS
+
+        for name in ("wms.tasks_submitted", "wms.tasks_dispatched",
+                     "wms.tasks_completed", "wms.tasks_failed",
+                     "wms.tasks_requeued", "wms.tasks_starved",
+                     "wms.queue_depth", "wms.queue_latency",
+                     "wms.turnaround"):
+            assert name in CONVENTIONS
+            assert CONVENTIONS[name].subsystem == "wms"
