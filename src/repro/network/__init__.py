@@ -22,8 +22,9 @@ purpose; we provide an equivalent discrete-event substrate:
   the paper names).
 """
 
-from repro.network.geometry import pairwise_distances, distance
-from repro.network.energy import Battery, RadioEnergyModel
+from repro.network.geometry import pairwise_distances, distance, PopulationTooLarge
+from repro.network.spatial import GridHashIndex
+from repro.network.energy import Battery, BatteryBank, BatteryView, RadioEnergyModel
 from repro.network.radio import RadioModel
 from repro.network.message import Message, DeliveryReceipt
 from repro.network.topology import Topology
@@ -33,7 +34,11 @@ from repro.network.network import WirelessNetwork, NetworkNode, record_route_cac
 __all__ = [
     "pairwise_distances",
     "distance",
+    "PopulationTooLarge",
+    "GridHashIndex",
     "Battery",
+    "BatteryBank",
+    "BatteryView",
     "RadioEnergyModel",
     "RadioModel",
     "Message",

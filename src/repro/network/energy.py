@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 
 @dataclasses.dataclass(frozen=True)
 class RadioEnergyModel:
@@ -120,3 +122,163 @@ class Battery:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Battery(remaining={self._remaining:.4g}/{self.capacity:.4g} J)"
+
+
+class BatteryView:
+    """Battery-API view over one slot of a :class:`BatteryBank`.
+
+    Implements the full :class:`Battery` surface (``draw``, ``remaining``,
+    ``depleted``, ``consumed``, ...), so network code that charges one
+    node at a time works unchanged; the state lives in the bank's arrays,
+    where fleet-wide accounting reads it without a Python loop.
+    """
+
+    __slots__ = ("_bank", "_i")
+
+    def __init__(self, bank: "BatteryBank", index: int) -> None:
+        self._bank = bank
+        self._i = index
+
+    @property
+    def capacity(self) -> float:
+        return float(self._bank.capacity[self._i])
+
+    @property
+    def remaining(self) -> float:
+        """Joules left (0 when depleted; inf for mains-powered nodes)."""
+        return float(self._bank._remaining[self._i])
+
+    @property
+    def consumed(self) -> float:
+        return float(self._bank.consumed[self._i])
+
+    @property
+    def draws(self) -> int:
+        return int(self._bank.draws[self._i])
+
+    @property
+    def depleted(self) -> bool:
+        """True once the battery has hit zero."""
+        return bool(self._bank._remaining[self._i] <= 0.0)
+
+    @property
+    def fraction_remaining(self) -> float:
+        """Remaining charge as a fraction of capacity (1.0 for infinite)."""
+        cap = self._bank.capacity[self._i]
+        if cap == np.inf:
+            return 1.0
+        if cap == 0.0:
+            return 0.0
+        return float(self._bank._remaining[self._i] / cap)
+
+    def draw(self, joules: float) -> bool:
+        """Consume ``joules``; return True if the node is still alive.
+
+        Bit-identical to :meth:`Battery.draw`: the slot holds float64 and
+        the scalar min/add/sub here are the same IEEE754 operations.
+        """
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        bank = self._bank
+        i = self._i
+        bank.draws[i] += 1
+        remaining = float(bank._remaining[i])
+        taken = joules if joules < remaining else remaining
+        bank.consumed[i] += taken
+        bank._remaining[i] = remaining - taken
+        return bank._remaining[i] > 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BatteryView(remaining={self.remaining:.4g}/{self.capacity:.4g} J)"
+
+
+class BatteryBank:
+    """Array-backed battery fleet for large populations.
+
+    Per-node state (capacity, remaining, consumed, draw count) lives in
+    flat float64/int64 arrays, so fleet-wide accounting -- total energy
+    consumed, min remaining, alive mask -- is one numpy reduction instead
+    of a Python loop over 100k :class:`Battery` objects.  Individual
+    nodes charge through :meth:`battery` views that implement the scalar
+    :class:`Battery` API bit-identically.
+    """
+
+    __slots__ = ("capacity", "_remaining", "consumed", "draws")
+
+    def __init__(self, capacities_joules: np.ndarray | list[float]) -> None:
+        cap = np.asarray(capacities_joules, dtype=np.float64).copy()
+        if cap.ndim != 1:
+            raise ValueError("capacities must be a 1-D array")
+        if np.any(cap < 0):
+            raise ValueError("capacity must be non-negative")
+        self.capacity = cap
+        self._remaining = cap.copy()
+        self.consumed = np.zeros(len(cap), dtype=np.float64)
+        self.draws = np.zeros(len(cap), dtype=np.int64)
+
+    @classmethod
+    def uniform(cls, n: int, capacity_joules: float = 1.0) -> "BatteryBank":
+        """A bank of ``n`` identical cells."""
+        return cls(np.full(n, float(capacity_joules)))
+
+    def __len__(self) -> int:
+        return len(self.capacity)
+
+    def battery(self, index: int) -> BatteryView:
+        """Battery-compatible view of one slot."""
+        return BatteryView(self, index)
+
+    def batteries(self) -> list[BatteryView]:
+        """Views for every slot (pass straight to ``WirelessNetwork``)."""
+        return [BatteryView(self, i) for i in range(len(self.capacity))]
+
+    # ------------------------------------------------------------------
+    # vectorized accounting
+    # ------------------------------------------------------------------
+    @property
+    def remaining(self) -> np.ndarray:
+        """Joules left per node (read-only view)."""
+        view = self._remaining.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def alive_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with charge left."""
+        return self._remaining > 0.0
+
+    @property
+    def depleted_count(self) -> int:
+        """Number of dead cells."""
+        return int(np.count_nonzero(self._remaining <= 0.0))
+
+    @property
+    def total_consumed(self) -> float:
+        """Fleet-wide joules drawn (numpy pairwise-summed; accounting
+        only -- never fed back into simulation state)."""
+        return float(self.consumed.sum())
+
+    def fraction_remaining(self) -> np.ndarray:
+        """Per-node remaining fraction (1.0 for infinite, 0.0 for zero-cap)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            frac = self._remaining / self.capacity
+        frac = np.where(self.capacity == np.inf, 1.0, frac)
+        frac = np.where(self.capacity == 0.0, 0.0, frac)
+        return frac
+
+    def draw_many(self, node_ids: np.ndarray, joules: float) -> np.ndarray:
+        """Charge the same ``joules`` to every listed node, vectorized.
+
+        Equivalent to calling ``battery(i).draw(joules)`` for each listed
+        node (each id must appear at most once per call); returns the
+        per-node alive flags in the same order.
+        """
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        ids = np.asarray(node_ids, dtype=np.intp)
+        remaining = self._remaining[ids]
+        taken = np.minimum(joules, remaining)
+        self.consumed[ids] += taken
+        self._remaining[ids] = remaining - taken
+        self.draws[ids] += 1
+        return self._remaining[ids] > 0.0

@@ -184,17 +184,30 @@ class WirelessNetwork:
         neighbors = self.topology.neighbors(src)
         tx = self.energy_model.tx_cost(message.size_bits, self.radio.range_m)
         self._charge(src, tx)
-        self.monitor.counter("net.energy_j").add(tx)
-        delivered: list[int] = []
-        hop_time = self.radio.hop_time(message.size_bits)
-        for nbr in neighbors:
-            if self.radio.loss_prob and self.rng.random() < self.radio.loss_prob:
-                continue
-            rx = self.energy_model.rx_cost(message.size_bits)
+        energy_counter = self.monitor.counter("net.energy_j")
+        energy_counter.add(tx)
+        loss = self.radio.loss_prob
+        if loss and neighbors:
+            # one vectorized draw; numpy Generators produce the identical
+            # stream for rng.random(n) and n scalar rng.random() calls, so
+            # results match the historical per-neighbor draw bit for bit
+            draws = self.rng.random(len(neighbors))
+            delivered = [nbr for nbr, d in zip(neighbors, draws) if not (d < loss)]
+        else:
+            delivered = list(neighbors)
+        rx = self.energy_model.rx_cost(message.size_bits)
+        for nbr in delivered:
+            # per-receiver scalar adds: n IEEE754 additions are not rx*n,
+            # and the counter's accumulation order is pinned by tests
             self._charge(nbr, rx)
-            self.monitor.counter("net.energy_j").add(rx)
-            delivered.append(nbr)
-            self._deliver_later(nbr, _receiver_copy(message), hop_time)
+            energy_counter.add(rx)
+        if delivered:
+            # one fan-out event instead of one heap push per receiver:
+            # the batched event delivers to every surviving receiver in
+            # ascending-id order, exactly the order the per-receiver
+            # events (consecutive seq at equal time/priority) fired in
+            self._fan_out_later(delivered, _receiver_copy(message),
+                                self.radio.hop_time(message.size_bits))
         if self.tracer.enabled:
             self.tracer.event("net.broadcast", msg_id=message.msg_id, src=src,
                               reached=len(delivered), neighbors=len(neighbors))
@@ -296,6 +309,25 @@ class WirelessNetwork:
                 node.receive(message)
 
         self.sim.schedule(delay, deliver, label=f"bcast:{message.msg_id}")
+
+    def _fan_out_later(self, targets: list[int], snapshot: Message, delay: float) -> None:
+        """Schedule one event that delivers ``snapshot`` to every target.
+
+        ``snapshot`` is a frozen copy taken at broadcast time; each
+        receiver still gets its own :func:`_receiver_copy` of it at
+        delivery, and liveness is re-checked per receiver at fire time --
+        both exactly as the historical one-event-per-receiver form did.
+        """
+
+        def fan_out() -> None:
+            topology = self.topology
+            nodes = self.nodes
+            for dst in targets:
+                node = nodes[dst]
+                if topology.is_alive(dst) and node.receive is not None:
+                    node.receive(_receiver_copy(snapshot))
+
+        self.sim.schedule(delay, fan_out, label=f"bcast:{snapshot.msg_id}")
 
     def sync_route_cache_metrics(self) -> None:
         """Record the topology's route-cache stats into this monitor."""

@@ -38,15 +38,14 @@ class Flooding:
 
         tx = self.energy_model.tx_cost(bits, self.radio.range_m)
         rx = self.energy_model.rx_cost(bits)
-        adj = topo.adjacency
         messages = 0
         for node in reached:
             # every reached node broadcasts exactly once...
             per_node[node] += tx
             messages += 1
             # ...and every living neighbor overhears it.
-            for nbr in np.flatnonzero(adj[node]):
-                per_node[int(nbr)] += rx
+            for nbr in topo.neighbors(node):
+                per_node[nbr] += rx
 
         eccentricity = max(hops.values()) if hops else 0
         latency = eccentricity * self.radio.hop_time(bits)

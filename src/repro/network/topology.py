@@ -2,11 +2,25 @@
 
 :class:`Topology` maintains the unit-disc adjacency over the current node
 positions and answers the graph queries the routing protocols need
-(neighbors, shortest paths, BFS trees, connectivity).  Adjacency is
-recomputed wholesale (a vectorized ``O(n^2)`` distance pass) whenever
-positions change or a node dies -- at the scales of the paper's scenarios
-(up to a few hundred nodes) this is far cheaper than incremental updates
-and trivially correct.
+(neighbors, shortest paths, BFS trees, connectivity).  Two interchangeable
+adjacency backends sit behind one API:
+
+* ``index="dense"`` -- the adjacency is one vectorized ``O(n^2)`` distance
+  pass, recomputed wholesale when positions change.  At the paper's
+  scenario scales (up to a few hundred nodes) this is cheapest and
+  trivially correct.
+* ``index="grid"`` -- a :class:`~repro.network.spatial.GridHashIndex`
+  (cell size = radio range) answers neighbor queries in O(local density)
+  and absorbs mobility *incrementally*: a ``move``/``move_all`` re-buckets
+  only the nodes whose cell changed, and ``kill``/``revive`` touch no
+  index state at all.  This is what lets E7-XL run 10k-100k nodes.
+
+``index="auto"`` (the default) picks dense below
+:data:`GRID_AUTO_THRESHOLD` nodes and grid above.  The two backends are
+*bit-identical*: every surviving neighbor passed the same ``np.hypot``
+comparison, neighbor lists are ascending, and the fuzz tests in
+``tests/network/test_spatial_index.py`` drive both through the same
+churn and compare every query.
 
 Route cache
 -----------
@@ -36,7 +50,17 @@ import typing
 
 import numpy as np
 
-from repro.network.geometry import as_positions, neighbors_within, distances_from
+from repro.network.geometry import (
+    as_positions,
+    distances_from,
+    neighbors_within,
+)
+from repro.network.spatial import GridHashIndex
+
+#: ``index="auto"`` switches from the dense matrix to the grid hash above
+#: this many nodes (dense recompute is ~4M floats here; past that the
+#: O(n^2) pass starts to dominate mobility ticks).
+GRID_AUTO_THRESHOLD = 2048
 
 
 class Topology:
@@ -48,17 +72,35 @@ class Topology:
         Initial ``(n, 2)`` node positions in metres.
     range_m:
         Communication radius of the unit-disc model.
+    index:
+        Adjacency backend: ``"auto"`` (default), ``"dense"``, or
+        ``"grid"``.  Backends answer every query bit-identically; see the
+        module docstring.
     """
 
-    def __init__(self, positions: np.ndarray, range_m: float) -> None:
+    def __init__(self, positions: np.ndarray, range_m: float, *,
+                 index: str = "auto") -> None:
         self._positions = as_positions(positions).copy()
         if range_m <= 0:
             raise ValueError("range_m must be positive")
         self.range_m = float(range_m)
+        if index == "auto":
+            index = "grid" if len(self._positions) > GRID_AUTO_THRESHOLD else "dense"
+        if index not in ("dense", "grid"):
+            raise ValueError(f"index must be 'auto', 'dense' or 'grid', got {index!r}")
+        self.index_kind = index
         self._alive = np.ones(len(self._positions), dtype=bool)
-        self._blocked: np.ndarray | None = None
+        #: Severed links: symmetric ``(lo, hi)`` id pair -> stack depth.
+        #: A dict, not an (n, n) matrix, so partitions cost O(blocked
+        #: pairs) memory at any population size.
+        self._blocked: dict[tuple[int, int], int] = {}
         self._adj: np.ndarray | None = None
+        self._grid = GridHashIndex(self._positions, self.range_m) if index == "grid" else None
         self._version = 0
+        # per-generation neighbor-list cache (grid mode; dense mode reads
+        # rows straight off the cached matrix)
+        self._nbr_cache: dict[int, np.ndarray] = {}
+        self._nbr_cache_version = 0
         # route cache: all entries valid only for _cache_version == _version
         self._cache_version = 0
         self._path_cache: dict[tuple[int, int], list[int] | None] = {}
@@ -108,27 +150,66 @@ class Topology:
     def move(self, node: int, position: np.ndarray) -> None:
         """Set one node's position (mobility models call this)."""
         self._positions[node] = np.asarray(position, dtype=np.float64)
+        if self._grid is not None:
+            self._grid.move(node, self._positions[node])
         self._invalidate()
 
     def move_all(self, positions: np.ndarray) -> None:
-        """Replace all positions at once (bulk mobility step)."""
+        """Replace all positions at once (bulk mobility step).
+
+        Grid mode re-buckets only the nodes whose cell changed --
+        incremental O(moved), not O(n^2)."""
         pos = as_positions(positions)
         if pos.shape != self._positions.shape:
             raise ValueError("positions shape mismatch")
         self._positions[:] = pos
+        if self._grid is not None:
+            self._grid.move_all(self._positions)
         self._invalidate()
 
     def kill(self, node: int) -> None:
-        """Remove a node from the topology (battery death, destruction)."""
+        """Remove a node from the topology (battery death, destruction).
+
+        Incremental in both backends: a cached dense matrix gets its row
+        and column zeroed (O(n), not an O(n^2) recompute), and the grid
+        index is untouched (liveness filters at query time).  Route
+        caches still invalidate -- reachability changed."""
         if self._alive[node]:
             self._alive[node] = False
-            self._invalidate()
+            if self._adj is not None:
+                self._adj[node, :] = False
+                self._adj[:, node] = False
+                self._version += 1
+            else:
+                self._invalidate()
 
     def revive(self, node: int) -> None:
-        """Bring a node back (used by disconnection churn models)."""
+        """Bring a node back (used by disconnection churn models).
+
+        Like :meth:`kill`, incremental: one O(n) row recompute patches a
+        cached dense matrix, bit-identical to a full rebuild."""
         if not self._alive[node]:
             self._alive[node] = True
-            self._invalidate()
+            if self._adj is not None:
+                delta = self._positions - self._positions[node]
+                row = np.hypot(delta[:, 0], delta[:, 1]) <= self.range_m
+                row &= self._alive
+                row[node] = False
+                if self._blocked:
+                    for (a, b) in self._blocked:
+                        if a == node:
+                            row[b] = False
+                        elif b == node:
+                            row[a] = False
+                self._adj[node, :] = row
+                self._adj[:, node] = row
+                self._version += 1
+            else:
+                self._invalidate()
+
+    @staticmethod
+    def _pair(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
 
     def block_links(self, group_a: typing.Iterable[int], group_b: typing.Iterable[int]) -> None:
         """Sever every link between two node groups (network partition).
@@ -138,24 +219,33 @@ class Topology:
         only once :meth:`unblock_links` has been called as many times as
         it was blocked (independent overlapping partitions compose).
         """
-        a = np.fromiter((int(n) for n in group_a), dtype=np.intp)
-        b = np.fromiter((int(n) for n in group_b), dtype=np.intp)
-        if self._blocked is None:
-            self._blocked = np.zeros((self.n_nodes, self.n_nodes), dtype=np.int16)
-        self._blocked[np.ix_(a, b)] += 1
-        self._blocked[np.ix_(b, a)] += 1
+        blocked = self._blocked
+        group_b = [int(n) for n in group_b]
+        for a in group_a:
+            a = int(a)
+            for b in group_b:
+                if a == b:
+                    continue
+                key = self._pair(a, b)
+                blocked[key] = blocked.get(key, 0) + 1
         self._invalidate()
 
     def unblock_links(self, group_a: typing.Iterable[int], group_b: typing.Iterable[int]) -> None:
         """Restore links previously severed by :meth:`block_links`."""
-        if self._blocked is None:
-            return
-        a = np.fromiter((int(n) for n in group_a), dtype=np.intp)
-        b = np.fromiter((int(n) for n in group_b), dtype=np.intp)
-        self._blocked[np.ix_(a, b)] = np.maximum(self._blocked[np.ix_(a, b)] - 1, 0)
-        self._blocked[np.ix_(b, a)] = np.maximum(self._blocked[np.ix_(b, a)] - 1, 0)
-        if not self._blocked.any():
-            self._blocked = None
+        blocked = self._blocked
+        group_b = [int(n) for n in group_b]
+        for a in group_a:
+            a = int(a)
+            for b in group_b:
+                if a == b:
+                    continue
+                key = self._pair(a, b)
+                depth = blocked.get(key)
+                if depth is not None:
+                    if depth <= 1:
+                        del blocked[key]
+                    else:
+                        blocked[key] = depth - 1
         self._invalidate()
 
     def _invalidate(self) -> None:
@@ -187,27 +277,70 @@ class Topology:
     # ------------------------------------------------------------------
     @property
     def adjacency(self) -> np.ndarray:
-        """Boolean ``(n, n)`` adjacency; dead nodes have no edges."""
+        """Boolean ``(n, n)`` adjacency; dead nodes have no edges.
+
+        In grid mode the dense matrix is assembled on demand (tests and
+        small-scale callers); above the geometry module's dense cap this
+        raises :class:`~repro.network.geometry.PopulationTooLarge` --
+        iterate :meth:`neighbors` instead, which stays O(density).
+        """
         if self._adj is None:
             adj = neighbors_within(self._positions, self.range_m)
             adj &= self._alive[:, None]
             adj &= self._alive[None, :]
-            if self._blocked is not None:
-                adj &= self._blocked == 0
+            for (a, b) in self._blocked:
+                adj[a, b] = False
+                adj[b, a] = False
             self._adj = adj
         return self._adj
 
+    def _neighbor_ids(self, node: int) -> np.ndarray:
+        """Living neighbors of ``node``, ascending (both backends)."""
+        if self._grid is None:
+            return np.flatnonzero(self.adjacency[node])
+        if self._nbr_cache_version != self._version:
+            self._nbr_cache.clear()
+            self._nbr_cache_version = self._version
+        cached = self._nbr_cache.get(node)
+        if cached is None:
+            cached = self._grid_neighbor_ids(node)
+            self._nbr_cache[node] = cached
+        return cached
+
+    def _grid_neighbor_ids(self, node: int) -> np.ndarray:
+        if not self._alive[node]:
+            return np.empty(0, dtype=np.intp)
+        ids = self._grid.candidates_near(node)
+        ids = ids[self._alive[ids]]
+        if len(ids):
+            delta = self._positions[ids] - self._positions[node]
+            ids = ids[np.hypot(delta[:, 0], delta[:, 1]) <= self.range_m]
+        if self._blocked and len(ids):
+            blocked = self._blocked
+            pair = self._pair
+            ids = np.asarray([j for j in ids if pair(node, int(j)) not in blocked],
+                             dtype=np.intp)
+        ids = np.sort(ids)
+        return ids
+
     def neighbors(self, node: int) -> list[int]:
         """Living neighbors of ``node`` within radio range."""
-        return [int(i) for i in np.flatnonzero(self.adjacency[node])]
+        return [int(i) for i in self._neighbor_ids(node)]
 
     def degree(self, node: int) -> int:
         """Number of living neighbors."""
-        return int(self.adjacency[node].sum())
+        return len(self._neighbor_ids(node))
 
     def has_edge(self, a: int, b: int) -> bool:
         """True iff a and b are alive and within range of each other."""
-        return bool(self.adjacency[a, b])
+        if self._grid is None:
+            return bool(self.adjacency[a, b])
+        if a == b or not (self._alive[a] and self._alive[b]):
+            return False
+        if self._blocked and self._pair(a, b) in self._blocked:
+            return False
+        delta = self._positions[a] - self._positions[b]
+        return bool(np.hypot(delta[0], delta[1]) <= self.range_m)
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes (memoized per generation)."""
@@ -269,10 +402,9 @@ class Topology:
             self.route_cache_misses += 1
             hops = {root: 0}
             frontier = collections.deque([root])
-            adj = self.adjacency
             while frontier:
                 u = frontier.popleft()
-                for v in np.flatnonzero(adj[u]):
+                for v in self._neighbor_ids(u):
                     v = int(v)
                     if v not in hops:
                         hops[v] = hops[u] + 1
@@ -305,10 +437,9 @@ class Topology:
         parent: dict[int, int] = {}
         visited = {root}
         frontier = collections.deque([root])
-        adj = self.adjacency
         while frontier:
             u = frontier.popleft()
-            for v in np.flatnonzero(adj[u]):
+            for v in self._neighbor_ids(u):
                 v = int(v)
                 if v not in visited:
                     visited.add(v)

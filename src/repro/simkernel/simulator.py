@@ -1,17 +1,22 @@
 """The deterministic event loop.
 
-:class:`Simulator` owns the virtual clock and the event heap.  All
+:class:`Simulator` owns the virtual clock and the pending-event list.  All
 substrates (network, sensors, grid, agents) schedule work through one
 shared ``Simulator`` so cross-subsystem causality is consistent.
+
+The pending-event container is pluggable (``queue="heap"`` or
+``queue="calendar"``, see :mod:`repro.simkernel.eventlist`); both preserve
+the exact ``(time, priority, seq)`` total order, so the choice affects
+wall-clock speed only -- never a simulation result.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 import typing
 
 from repro.simkernel.event import Event, EventHandle, PRIORITY_NORMAL
+from repro.simkernel.eventlist import EVENT_LISTS, _EventListBase
 
 
 class SimulationError(RuntimeError):
@@ -25,6 +30,12 @@ class Simulator:
     ----------
     start_time:
         Initial virtual time (default ``0.0``).
+    queue:
+        Pending-event container: ``"heap"`` (default; the classic binary
+        heap) or ``"calendar"`` (bucketed calendar queue, amortised O(1)
+        per event -- the right choice for 10k+ node simulations).  Both
+        yield bit-identical event sequences; an already-constructed
+        event-list instance is also accepted.
 
     Examples
     --------
@@ -36,9 +47,16 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, queue: str | _EventListBase = "heap") -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        if isinstance(queue, str):
+            try:
+                queue = EVENT_LISTS[queue]()
+            except KeyError:
+                raise SimulationError(
+                    f"unknown queue {queue!r}; expected one of {sorted(EVENT_LISTS)}"
+                ) from None
+        self._events: _EventListBase = queue
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -70,8 +88,23 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* events awaiting execution.
+
+        Cancelled-but-unswept tombstones are excluded -- this is the
+        number monitors and dashboards should show.  The raw entry count
+        (the pre-PR-10 ``pending`` semantics) lives on :attr:`queued`.
+        """
+        return len(self._events)
+
+    @property
+    def queued(self) -> int:
+        """Raw pending-list entry count, cancelled tombstones included.
+
+        This is the historical ``pending`` semantics: how many entries
+        the event list physically holds.  ``queued - pending`` is the
+        current tombstone debt awaiting compaction.
+        """
+        return self._events.queued
 
     # ------------------------------------------------------------------
     # scheduling
@@ -109,11 +142,12 @@ class Simulator:
             )
         tracer = self.tracer
         ctx = tracer._capture() if tracer is not None and tracer.enabled else None
-        event = Event(time=float(time), priority=priority, seq=self._seq,
-                      callback=callback, label=label, trace_ctx=ctx)
+        events = self._events
+        event = events.alloc(float(time), priority, self._seq, callback,
+                             label=label, trace_ctx=ctx)
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        events.push(event)
+        return EventHandle(event, events)
 
     # ------------------------------------------------------------------
     # execution
@@ -121,37 +155,38 @@ class Simulator:
     def step(self) -> bool:
         """Execute the single next non-cancelled event.
 
-        Returns ``True`` if an event was executed, ``False`` if the heap is
-        empty (simulation exhausted).
+        Returns ``True`` if an event was executed, ``False`` if no live
+        event remains (simulation exhausted).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_executed += 1
-            callback, event.callback = event.callback, _already_fired
-            profiler = self.profiler
-            profiling = profiler is not None and profiler.enabled
-            if profiling:
-                profiler._begin_event(event, callback)
-            try:
-                tracer = self.tracer
-                if tracer is not None and tracer.enabled:
-                    # run under the span current at schedule time (possibly
-                    # none), not whatever span the stepping code is inside
-                    saved = tracer._activate(event.trace_ctx)
-                    try:
-                        callback()
-                    finally:
-                        tracer._deactivate(saved)
-                else:
+        event = self._events.pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_executed += 1
+        callback, event.callback = event.callback, _already_fired
+        profiler = self.profiler
+        profiling = profiler is not None and profiler.enabled
+        if profiling:
+            profiler._begin_event(event, callback)
+        try:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                # run under the span current at schedule time (possibly
+                # none), not whatever span the stepping code is inside
+                saved = tracer._activate(event.trace_ctx)
+                try:
                     callback()
-            finally:
-                if profiling:
-                    profiler._end_event()
-            return True
-        return False
+                finally:
+                    tracer._deactivate(saved)
+            else:
+                callback()
+        finally:
+            if profiling:
+                profiler._end_event()
+            # safe to reuse: the callback ran (or raised) and the event
+            # left the list; handles detect the generation bump
+            self._events.recycle(event)
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run the event loop.
@@ -161,7 +196,7 @@ class Simulator:
         until:
             If given, stop once the next event's time exceeds ``until`` and
             advance the clock to exactly ``until``.  If omitted, run until
-            the heap is empty.
+            no live event remains.
         max_events:
             Safety valve: stop after executing this many events.
 
@@ -181,13 +216,12 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        events = self._events
         try:
-            while self._heap and not self._stopped:
-                # Peek: skip cancelled events without advancing the clock.
-                head = self._heap[0]
-                if head.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
+            while not self._stopped:
+                head = events.peek()
+                if head is None:
+                    break
                 if until is not None and head.time > until:
                     break
                 if max_events is not None and executed >= max_events:
@@ -195,9 +229,8 @@ class Simulator:
                 self.step()
                 executed += 1
             if until is not None and not self._stopped and self._now < until:
-                while self._heap and self._heap[0].cancelled:
-                    heapq.heappop(self._heap)
-                if not self._heap or self._heap[0].time > until:
+                head = events.peek()
+                if head is None or head.time > until:
                     self._now = float(until)
         finally:
             self._running = False

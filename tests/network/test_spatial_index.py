@@ -1,0 +1,223 @@
+"""Grid-hash spatial index vs dense adjacency: exact equivalence.
+
+The grid backend exists purely for scale; it must answer every topology
+query bit-identically to the dense O(n^2) matrix.  The fuzz tests here
+drive both backends through the same churn (moves, bulk moves, kills,
+revives, link blocking) and compare every query after every mutation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.geometry import (
+    ADJACENCY_MAX_N,
+    PAIRWISE_MAX_N,
+    PopulationTooLarge,
+    neighbors_within,
+    pairwise_distances,
+)
+from repro.network.spatial import GridHashIndex
+from repro.network.topology import GRID_AUTO_THRESHOLD, Topology
+
+
+def dense_row(positions, radius, node):
+    """Reference neighbor row straight from the dense helper."""
+    adj = neighbors_within(positions, radius)
+    return list(np.flatnonzero(adj[node]))
+
+
+class TestGridHashIndex:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_dense_rows(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 120))
+        pos = rng.random((n, 2)) * 50
+        radius = float(rng.uniform(2.0, 25.0))
+        index = GridHashIndex(pos, radius)
+        for u in range(n):
+            assert list(index.neighbors_within(u, pos)) == dense_row(pos, radius, u)
+
+    def test_incremental_move_matches_rebuild(self):
+        rng = np.random.default_rng(3)
+        pos = rng.random((80, 2)) * 40
+        index = GridHashIndex(pos, 6.0)
+        for _ in range(300):
+            u = int(rng.integers(0, 80))
+            pos[u] = rng.random(2) * 40
+            index.move(u, pos[u])
+        fresh = GridHashIndex(pos, 6.0)
+        for u in range(80):
+            assert list(index.neighbors_within(u, pos)) == \
+                list(fresh.neighbors_within(u, pos))
+
+    def test_move_all_rebuckets_only_changed(self):
+        rng = np.random.default_rng(4)
+        pos = rng.random((100, 2)) * 100
+        index = GridHashIndex(pos, 10.0)
+        moved = index.move_all(pos)  # no-op bulk move
+        assert moved == 0
+        pos2 = pos.copy()
+        pos2[:5] += 30.0  # guaranteed cell changes for exactly 5 nodes
+        assert index.move_all(pos2) == 5
+        fresh = GridHashIndex(pos2, 10.0)
+        for u in range(100):
+            assert list(index.neighbors_within(u, pos2)) == \
+                list(fresh.neighbors_within(u, pos2))
+
+    def test_coincident_nodes_are_neighbors(self):
+        """Distance 0 between distinct nodes is within any radius; only the
+        self-loop is excluded (same convention as the dense path)."""
+        pos = np.array([[5.0, 5.0], [5.0, 5.0], [30.0, 30.0]])
+        index = GridHashIndex(pos, 2.0)
+        assert list(index.neighbors_within(0, pos)) == [1]
+        assert list(index.neighbors_within(1, pos)) == [0]
+        assert list(index.neighbors_within(2, pos)) == []
+
+    def test_boundary_distance_exact(self):
+        """dist == radius is a neighbor under both backends (<=, not <)."""
+        pos = np.array([[0.0, 0.0], [7.0, 0.0]])
+        index = GridHashIndex(pos, 7.0)
+        assert list(index.neighbors_within(0, pos)) == [1]
+        assert dense_row(pos, 7.0, 0) == [1]
+
+    def test_negative_coordinates(self):
+        """floor-based cell hashing must be correct left of the origin."""
+        rng = np.random.default_rng(9)
+        pos = rng.random((60, 2)) * 40 - 20.0
+        index = GridHashIndex(pos, 5.0)
+        for u in range(60):
+            assert list(index.neighbors_within(u, pos)) == dense_row(pos, 5.0, u)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.5, max_value=30.0, allow_nan=False),
+    )
+    def test_property_always_matches_dense(self, n, seed, radius):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 2)) * 30
+        index = GridHashIndex(pos, radius)
+        adj = neighbors_within(pos, radius)
+        for u in range(n):
+            assert list(index.neighbors_within(u, pos)) == \
+                list(np.flatnonzero(adj[u]))
+
+
+class TestTopologyBackendEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fuzz_churn_bit_identical(self, seed):
+        """Dense and grid topologies agree on every query through heavy
+        churn: single moves, bulk moves, kills, revives, blocks."""
+        rng = np.random.default_rng(seed)
+        n = 150
+        pos = rng.random((n, 2)) * 80
+        radius = 11.0
+        dense = Topology(pos, radius, index="dense")
+        grid = Topology(pos, radius, index="grid")
+
+        def check():
+            for u in range(n):
+                assert dense.neighbors(u) == grid.neighbors(u)
+            probe = rng.integers(0, n, 30).reshape(-1, 2)
+            for a, b in probe:
+                a, b = int(a), int(b)
+                assert dense.has_edge(a, b) == grid.has_edge(a, b)
+                assert dense.shortest_path(a, b) == grid.shortest_path(a, b)
+            root = int(rng.integers(0, n))
+            assert dense.hop_counts_from(root) == grid.hop_counts_from(root)
+            assert dense.bfs_tree(root) == grid.bfs_tree(root)
+            assert dense.is_connected() == grid.is_connected()
+
+        check()
+        for _ in range(10):
+            for u in rng.integers(0, n, 8):
+                p = rng.random(2) * 80
+                dense.move(int(u), p)
+                grid.move(int(u), p)
+            for u in rng.integers(0, n, 4):
+                dense.kill(int(u))
+                grid.kill(int(u))
+            for u in rng.integers(0, n, 2):
+                dense.revive(int(u))
+                grid.revive(int(u))
+            ga = [int(x) for x in rng.integers(0, n, 3)]
+            gb = [int(x) for x in rng.integers(0, n, 3)]
+            dense.block_links(ga, gb)
+            grid.block_links(ga, gb)
+            check()
+            dense.unblock_links(ga, gb)
+            grid.unblock_links(ga, gb)
+            bulk = dense.positions + rng.normal(0, 2, (n, 2))
+            dense.move_all(bulk)
+            grid.move_all(bulk)
+            check()
+
+    def test_grid_adjacency_property_matches_dense(self):
+        rng = np.random.default_rng(7)
+        pos = rng.random((90, 2)) * 50
+        dense = Topology(pos, 9.0, index="dense")
+        grid = Topology(pos, 9.0, index="grid")
+        dense.kill(3)
+        grid.kill(3)
+        assert np.array_equal(dense.adjacency, grid.adjacency)
+
+    def test_auto_selects_by_population(self):
+        rng = np.random.default_rng(0)
+        small = Topology(rng.random((10, 2)) * 10, 3.0)
+        assert small.index_kind == "dense"
+        big = Topology(rng.random((GRID_AUTO_THRESHOLD + 1, 2)) * 1000, 3.0)
+        assert big.index_kind == "grid"
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(ValueError, match="index must be"):
+            Topology(np.zeros((2, 2)), 1.0, index="quadtree")
+
+    def test_blocked_links_do_not_leak_memory_dense_matrix(self):
+        """Blocking is dict-backed: a large-n grid topology can block links
+        without ever materializing an (n, n) matrix."""
+        rng = np.random.default_rng(1)
+        n = ADJACENCY_MAX_N + 10
+        topo = Topology(rng.random((n, 2)) * 1e4, 5.0, index="grid")
+        topo.block_links([0, 1], [2, 3])
+        assert not topo.has_edge(0, 2)
+        topo.unblock_links([0, 1], [2, 3])
+        # neighbors still answer at a population the dense path refuses
+        assert isinstance(topo.neighbors(0), list)
+
+
+class TestDenseGuards:
+    def test_pairwise_refuses_oversized(self):
+        pos = np.zeros((PAIRWISE_MAX_N + 1, 2))
+        with pytest.raises(PopulationTooLarge, match="spatial index"):
+            pairwise_distances(pos)
+
+    def test_adjacency_refuses_oversized(self):
+        pos = np.zeros((ADJACENCY_MAX_N + 1, 2))
+        with pytest.raises(PopulationTooLarge, match="spatial index"):
+            neighbors_within(pos, 1.0)
+
+    def test_grid_adjacency_property_refuses_oversized(self):
+        rng = np.random.default_rng(2)
+        topo = Topology(rng.random((ADJACENCY_MAX_N + 1, 2)) * 1e4, 5.0,
+                        index="grid")
+        with pytest.raises(PopulationTooLarge):
+            _ = topo.adjacency
+
+    def test_max_n_override(self):
+        pos = np.zeros((5, 2))
+        with pytest.raises(PopulationTooLarge):
+            pairwise_distances(pos, max_n=4)
+        assert pairwise_distances(pos, max_n=5).shape == (5, 5)
+
+    def test_blockwise_matches_single_shot(self):
+        """Block-row evaluation is bit-identical to one full broadcast."""
+        rng = np.random.default_rng(5)
+        pos = rng.random((200, 2)) * 100
+        delta = pos[:, None, :] - pos[None, :, :]
+        ref = np.hypot(delta[..., 0], delta[..., 1])
+        assert np.array_equal(pairwise_distances(pos), ref)
+        adj = ref <= 12.0
+        np.fill_diagonal(adj, False)
+        assert np.array_equal(neighbors_within(pos, 12.0), adj)

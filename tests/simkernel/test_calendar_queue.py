@@ -1,0 +1,250 @@
+"""Calendar queue vs heap: bit-identical event sequences.
+
+The calendar queue is a pure wall-clock optimization -- both event lists
+must dispatch the exact same (time, priority, seq) sequence for any
+workload, including the adversarial cases: cancellations, zero delays,
+same-time/priority ties, wide and narrow time distributions.  These tests
+are the proof the simulator's ``queue=`` knob never changes a result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import CalendarQueue, HeapEventList, Simulator
+from repro.simkernel.eventlist import COMPACT_MIN_TOMBSTONES
+
+
+def run_workload(queue: str, seed: int, *, n_roots: int = 60) -> list[tuple]:
+    """Drive one simulator through a randomized self-scheduling workload.
+
+    Returns the full dispatch trace: (time, tag) per executed event.  The
+    workload covers nested scheduling, priorities, zero delays, cancels
+    (including cancelling from inside callbacks), and heavy same-time ties.
+    """
+    sim = Simulator(queue=queue)
+    rng = np.random.default_rng(seed)
+    trace: list[tuple] = []
+    handles: list = []
+
+    def make_cb(tag: int, depth: int):
+        def cb() -> None:
+            trace.append((sim.now, tag))
+            if depth > 0:
+                for k in range(int(rng.integers(0, 3))):
+                    delay = float(rng.choice([0.0, 0.25, rng.random() * 8.0]))
+                    pri = int(rng.integers(0, 3))
+                    h = sim.schedule(delay, make_cb(tag * 10 + k, depth - 1),
+                                     priority=pri)
+                    handles.append(h)
+                if handles and rng.random() < 0.3:
+                    victim = handles[int(rng.integers(0, len(handles)))]
+                    victim.cancel()
+
+        return cb
+
+    for i in range(n_roots):
+        t = float(rng.choice([0.0, 1.0, rng.random() * 50.0]))
+        sim.schedule_at(t, make_cb(i, 2), priority=int(rng.integers(0, 2)))
+    sim.run()
+    return trace
+
+
+class TestCalendarHeapEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_bit_identical_traces(self, seed):
+        """Same seed => byte-for-byte identical dispatch under both queues."""
+        assert run_workload("heap", seed) == run_workload("calendar", seed)
+
+    def test_same_time_priority_ties_fifo(self):
+        """Ties at (time, priority) dispatch in scheduling (seq) order."""
+        for queue in ("heap", "calendar"):
+            sim = Simulator(queue=queue)
+            order = []
+            for i in range(50):
+                sim.schedule_at(3.0, lambda i=i: order.append(i), priority=5)
+            sim.run()
+            assert order == list(range(50))
+
+    def test_zero_delay_chains(self):
+        """Zero-delay events fire after the current event, FIFO."""
+        for queue in ("heap", "calendar"):
+            sim = Simulator(queue=queue)
+            order = []
+
+            def first():
+                order.append("first")
+                sim.schedule(0.0, lambda: order.append("chained"))
+
+            sim.schedule(1.0, first)
+            sim.schedule_at(1.0, lambda: order.append("second"))
+            sim.run()
+            assert order == ["first", "second", "chained"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                st.integers(min_value=-3, max_value=3),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_property_arbitrary_times_and_priorities(self, items):
+        """Hypothesis: any (time, priority) multiset dispatches identically,
+        including pathological float times near bucket boundaries."""
+        traces = {}
+        for queue in ("heap", "calendar"):
+            sim = Simulator(queue=queue)
+            trace = []
+            for j, (t, pri) in enumerate(items):
+                sim.schedule_at(t, lambda j=j: trace.append((sim.now, j)),
+                                priority=pri)
+            sim.run()
+            traces[queue] = trace
+        assert traces["heap"] == traces["calendar"]
+
+    def test_unknown_queue_rejected(self):
+        from repro.simkernel import SimulationError
+
+        with pytest.raises(SimulationError, match="unknown queue"):
+            Simulator(queue="fibonacci")
+
+    def test_instance_accepted(self):
+        sim = Simulator(queue=CalendarQueue())
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.0]
+
+
+class TestPendingSemantics:
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_pending_excludes_cancelled(self, queue):
+        """``pending`` is the live count; ``queued`` keeps the historical
+        raw-entry semantics (tombstones included until compaction)."""
+        sim = Simulator(queue=queue)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        assert sim.queued == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending == 6
+        # below the compaction floor the tombstones are still resident
+        assert sim.queued == 10
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_executed == 6
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_compaction_sweeps_tombstone_debt(self, queue):
+        """Cancelling most of a large queue triggers compaction: queued
+        drops back toward pending instead of holding every tombstone."""
+        sim = Simulator(queue=queue)
+        n = 6 * COMPACT_MIN_TOMBSTONES
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+        for h in handles[: n - COMPACT_MIN_TOMBSTONES // 2]:
+            h.cancel()
+        live = COMPACT_MIN_TOMBSTONES // 2
+        assert sim.pending == live
+        assert sim.queued < n  # compaction fired at least once
+        assert sim.queued - sim.pending <= max(COMPACT_MIN_TOMBSTONES, live)
+        fired = sim.events_executed
+        sim.run()
+        assert sim.events_executed - fired == live
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_cancel_during_dispatch_of_same_event(self, queue):
+        """A callback cancelling its own already-dispatched handle must not
+        corrupt the live count (the event is no longer queued)."""
+        sim = Simulator(queue=queue)
+        box = {}
+
+        def cb():
+            box["h"].cancel()
+
+        box["h"] = sim.schedule(1.0, cb)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_executed == 2
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_double_cancel_counts_once(self, queue):
+        sim = Simulator(queue=queue)
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_executed == 1
+
+
+class TestSlotReuse:
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_handles_survive_event_recycling(self, queue):
+        """An EventHandle held after its event fired (and its Event object
+        was recycled into a new event) must stay inert: cancel() is a
+        no-op for the new occupant, and metadata still reads correctly."""
+        sim = Simulator(queue=queue)
+        fired = []
+        h1 = sim.schedule(1.0, lambda: fired.append("a"), label="first")
+        sim.run()
+        assert fired == ["a"]
+        # schedule more work -- the kernel may reuse h1's Event slot
+        h2 = sim.schedule(1.0, lambda: fired.append("b"), label="second")
+        h1.cancel()  # stale handle: must not cancel h2's event
+        sim.run()
+        assert fired == ["a", "b"]
+        assert h1.label == "first"
+        assert h1.time == 1.0
+        assert not h2.cancelled
+
+    @pytest.mark.parametrize("queue", ["heap", "calendar"])
+    def test_many_rounds_reuse_is_invisible(self, queue):
+        """Thousands of alloc/recycle cycles never change behavior."""
+        sim = Simulator(queue=queue)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 3000:
+                sim.schedule(0.5, tick)
+
+        sim.schedule(0.5, tick)
+        sim.run()
+        assert count[0] == 3000
+        assert sim.pending == 0
+
+
+class TestCalendarInternals:
+    def test_resize_preserves_order_across_growth(self):
+        """Pushing far more events than buckets forces several resizes;
+        order must survive every redistribution."""
+        q = CalendarQueue()
+        sim = Simulator(queue=q)
+        rng = np.random.default_rng(11)
+        times = rng.random(5000) * 1e4
+        fired = []
+        for t in sorted(set(float(x) for x in times)):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(set(fired))
+
+    def test_sparse_then_dense_time_distributions(self):
+        """Width re-estimation must cope with clustered-then-spread times."""
+        sim = Simulator(queue="calendar")
+        fired = []
+        # dense cluster near t=1
+        for i in range(200):
+            sim.schedule_at(1.0 + i * 1e-9, lambda i=i: fired.append(("d", i)))
+        # sparse tail out to t=1e6
+        for i in range(20):
+            sim.schedule_at(1e4 * (i + 1), lambda i=i: fired.append(("s", i)))
+        sim.run()
+        assert fired[:200] == [("d", i) for i in range(200)]
+        assert fired[200:] == [("s", i) for i in range(20)]
